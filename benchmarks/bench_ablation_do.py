@@ -1,0 +1,71 @@
+"""Ablation (Section 5.4): differentially oblivious vs fully oblivious.
+
+The paper rejects DO for FL on two grounds: padding can only realize
+one-sided noise (a large truncation shift per histogram bin), and the
+histogram sensitivity of one client is its whole top-k set, so the
+expected padding scales like d * k / epsilon elements.  This ablation
+sweeps epsilon and k and reports the DO working set relative to the
+fully-oblivious Advanced working set (nk + d) -- the ratio the paper
+calls "prohibitive".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.do_aggregation import (
+    DoParameters,
+    aggregate_do,
+    do_padding_overhead,
+)
+from repro.core.aggregation import aggregate_linear
+
+from .common import make_synthetic_updates, print_table, save_results
+
+N, D = 100, 4096
+EPSILONS = (0.5, 1.0, 2.0, 8.0)
+KS = (4, 40, 400)
+
+
+def test_ablation_do_padding_overhead(benchmark):
+    def experiment():
+        series = []
+        for k in KS:
+            for eps in EPSILONS:
+                report = do_padding_overhead(
+                    N, k, D, DoParameters(epsilon=eps, sensitivity=k)
+                )
+                series.append({
+                    "k": k, "epsilon": eps,
+                    "overhead_ratio": report["overhead_ratio"],
+                    "do_elements": report["do_elements"],
+                })
+        # Functional sanity at one (cheap) configuration.
+        updates = make_synthetic_updates(20, 4, 256, seed=0)
+        agg, _ = aggregate_do(
+            updates, 256, DoParameters(epsilon=8.0, sensitivity=4),
+            np.random.default_rng(0),
+        )
+        matches = bool(np.allclose(agg, aggregate_linear(updates, 256)))
+        return {"series": series, "do_matches_linear": matches}
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [r["k"], r["epsilon"], f"{r['overhead_ratio']:.1f}x",
+         f"{r['do_elements']:.3g}"]
+        for r in result["series"]
+    ]
+    print_table(
+        f"Ablation 5.4: DO padding working set vs Advanced (n={N}, d={D})",
+        ["k", "epsilon", "overhead vs fully-oblivious", "DO elements"], rows,
+    )
+    save_results("ablation_do", result)
+    benchmark.extra_info.update(result)
+
+    assert result["do_matches_linear"]
+    by_key = {(r["k"], r["epsilon"]): r["overhead_ratio"]
+              for r in result["series"]}
+    # Overhead grows as epsilon shrinks and as k grows.
+    assert by_key[(40, 0.5)] > by_key[(40, 8.0)]
+    assert by_key[(400, 1.0)] > by_key[(4, 1.0)]
+    # At FL-realistic sparsified sizes, DO is prohibitively padded.
+    assert by_key[(400, 1.0)] > 50

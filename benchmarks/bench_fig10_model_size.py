@@ -1,0 +1,93 @@
+"""Figure 10: aggregation time vs model size d (synthetic gradients).
+
+Sweeps d at the paper's alpha = 0.01 and n = 100 (so nk = d) and times
+the four aggregators.  Paper shape: Advanced is roughly an order of
+magnitude faster than Baseline at large d and far faster than
+PathORAM; Baseline wins only when the model is trivially small; the
+non-oblivious Linear lower-bounds everyone.
+
+Path ORAM is executed up to d = 4096 and linearly extrapolated per
+ORAM access beyond that (its per-access cost is size-stable at these
+tree heights); the extrapolation is marked in the output.
+"""
+
+import time
+
+import pytest
+
+from repro.core.aggregation import (
+    aggregate_advanced,
+    aggregate_baseline,
+    aggregate_linear,
+    aggregate_path_oram,
+)
+
+from .common import make_synthetic_updates, print_table, save_results
+
+D_SWEEP = (1024, 4096, 16384, 65536)
+ALPHA = 0.01
+N_CLIENTS = 100
+ORAM_MAX_D = 4096
+
+
+def _time(fn, *args, **kwargs):
+    start = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - start
+
+
+def test_fig10_aggregation_time_vs_model_size(benchmark):
+    def experiment():
+        series = {"d": [], "linear": [], "baseline": [], "advanced": [],
+                  "path_oram": [], "oram_extrapolated": []}
+        oram_per_access = None
+        for d in D_SWEEP:
+            k = max(1, int(ALPHA * d))
+            updates = make_synthetic_updates(N_CLIENTS, k, d, seed=0)
+            series["d"].append(d)
+            series["linear"].append(_time(aggregate_linear, updates, d))
+            series["baseline"].append(_time(aggregate_baseline, updates, d))
+            series["advanced"].append(_time(aggregate_advanced, updates, d))
+            accesses = 2 * N_CLIENTS * k + d
+            if d <= ORAM_MAX_D:
+                elapsed = _time(aggregate_path_oram, updates, d, seed=0)
+                oram_per_access = elapsed / accesses
+                series["path_oram"].append(elapsed)
+                series["oram_extrapolated"].append(False)
+            else:
+                series["path_oram"].append(oram_per_access * accesses)
+                series["oram_extrapolated"].append(True)
+        return series
+
+    series = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for i, d in enumerate(series["d"]):
+        oram = f"{series['path_oram'][i]:.4g}"
+        if series["oram_extrapolated"][i]:
+            oram += " (extrap.)"
+        rows.append([
+            d, f"{series['linear'][i]:.4g}", f"{series['baseline'][i]:.4g}",
+            f"{series['advanced'][i]:.4g}", oram,
+        ])
+    print_table(
+        f"Figure 10: aggregation seconds (alpha={ALPHA}, n={N_CLIENTS})",
+        ["d", "linear", "baseline", "advanced", "path_oram"], rows,
+    )
+    save_results("fig10", series)
+    benchmark.extra_info.update(
+        {k: series[k] for k in ("d", "baseline", "advanced", "path_oram")}
+    )
+
+    # Shape checks.
+    last = len(D_SWEEP) - 1
+    # Advanced beats Baseline at the largest model, clearly.
+    assert series["advanced"][last] < series["baseline"][last] / 2
+    # PathORAM is the slowest oblivious scheme at scale.
+    assert series["path_oram"][last] > series["advanced"][last]
+    # Linear (non-oblivious) lower-bounds everything.
+    assert series["linear"][last] < series["advanced"][last]
+    # Advanced's relative advantage grows with d.
+    ratio_small = series["advanced"][0] / max(series["baseline"][0], 1e-9)
+    ratio_large = series["advanced"][last] / max(series["baseline"][last], 1e-9)
+    assert ratio_large < ratio_small

@@ -1,0 +1,73 @@
+"""Figure 4: attack success with a FIXED number of labels per client.
+
+For each dataset and attack method (JAC / NN / NN-single), sweep the
+number of labels each client holds and report the ``all`` (exact set)
+and ``top-1`` success rates.  Paper shape: near-1.0 at 1-2 labels,
+``all`` decays with more labels, ``top-1`` stays high.
+
+Scale: N=40 clients / q=0.5 / T=3 instead of the paper's N=1000 /
+q=0.1 / T=3 (same expected participants per round ~ 20 vs 100); the
+MNIST-like and Purchase100-like datasets use the exact paper model
+architectures.
+"""
+
+import pytest
+
+from repro.attack.pipeline import AttackConfig, chance_top1, run_attack
+
+from .common import print_table, run_traced_fl, save_results
+
+LABEL_COUNTS = (1, 2, 3)
+METHODS = ("jac", "nn", "nn_single")
+DATASETS = ("tiny", "mnist", "purchase100")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig4_attack_fixed_labels(benchmark, dataset):
+    def experiment():
+        series = {m: {"all": [], "top1": [], "chance": []} for m in METHODS}
+        for n_labels in LABEL_COUNTS:
+            system, model, logs, test_data, training, true_labels = (
+                run_traced_fl(dataset, n_labels, fixed=True)
+            )
+            chance = chance_top1(true_labels, len(test_data))
+            for method in METHODS:
+                res = run_attack(
+                    logs, model, test_data, training, true_labels, system.d,
+                    AttackConfig(method=method, known_label_count=n_labels,
+                                 nn_epochs=25, nn_hidden=32,
+                                 teacher_samples_per_label=5),
+                )
+                series[method]["all"].append(res.all_accuracy)
+                series[method]["top1"].append(res.top1_accuracy)
+                series[method]["chance"].append(chance)
+        return series
+
+    series = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for method in METHODS:
+        for i, n_labels in enumerate(LABEL_COUNTS):
+            rows.append([
+                method, n_labels,
+                series[method]["all"][i], series[method]["top1"][i],
+                series[method]["chance"][i],
+            ])
+    print_table(
+        f"Figure 4 ({dataset}): fixed #labels",
+        ["method", "#labels", "all", "top-1", "chance top-1"], rows,
+    )
+    save_results(f"fig4_{dataset}", series)
+    benchmark.extra_info.update(
+        {m: series[m]["top1"] for m in METHODS}
+    )
+
+    # Shape checks (paper: high success at few labels, top-1 stays high).
+    jac = series["jac"]
+    assert jac["all"][0] > 0.6, "1-label exact-set attack should succeed"
+    for i in range(len(LABEL_COUNTS)):
+        # Decisively above chance (capped: chance can approach 1 when
+        # clients hold half the label space, as with tiny at 3/6).
+        assert jac["top1"][i] >= min(0.9, 2.5 * jac["chance"][i])
+    # `all` is non-increasing-ish with label count (allow small noise).
+    assert jac["all"][-1] <= jac["all"][0] + 0.1

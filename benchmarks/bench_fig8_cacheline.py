@@ -1,0 +1,53 @@
+"""Figure 8: attack under cacheline-granularity (64 B) observation.
+
+Published SGX attacks observe addresses at cacheline resolution, i.e.
+16 four-byte weights collapse into one observable line.  Paper shape:
+slightly lower accuracy than the word-granularity adversary, but the
+attack remains effective -- the known SGX leakage level suffices.
+"""
+
+import pytest
+
+from repro.attack.pipeline import AttackConfig, chance_top1, run_attack
+
+from .common import print_table, run_traced_fl, save_results
+
+DATASET = "mnist"
+GRANULARITIES = ("word", "cacheline")
+
+
+def test_fig8_cacheline_leakage(benchmark):
+    def experiment():
+        system, model, logs, test_data, training, true_labels = (
+            run_traced_fl(DATASET, 2, fixed=True, seed=4)
+        )
+        series = {}
+        for granularity in GRANULARITIES:
+            res = run_attack(
+                logs, model, test_data, training, true_labels, system.d,
+                AttackConfig(method="jac", granularity=granularity,
+                             known_label_count=2),
+            )
+            series[granularity] = {
+                "all": res.all_accuracy, "top1": res.top1_accuracy,
+            }
+        series["chance"] = chance_top1(true_labels, len(test_data))
+        return series
+
+    series = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [g, series[g]["all"], series[g]["top1"]] for g in GRANULARITIES
+    ]
+    print_table(
+        f"Figure 8 ({DATASET}): word vs cacheline observation",
+        ["granularity", "all", "top-1"], rows,
+    )
+    save_results("fig8", series)
+    benchmark.extra_info.update(
+        {g: series[g]["top1"] for g in GRANULARITIES}
+    )
+
+    # Shape: cacheline attack still decisively beats chance, at most
+    # slightly below the word-level adversary.
+    assert series["cacheline"]["top1"] > 3 * series["chance"]
+    assert series["cacheline"]["all"] >= series["word"]["all"] - 0.3

@@ -1,0 +1,139 @@
+"""Shared helpers for the per-table / per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a
+documented scale (EXPERIMENTS.md maps paper parameters to the scaled
+ones and records the shape checks).  Results are printed as the same
+rows/series the paper reports and appended to ``bench_results/`` so the
+run leaves a machine-readable record.
+
+The *scaled machine* used by the cost-model figures shrinks the paper's
+memory hierarchy (1 MB L2 / 8 MB L3 / 96 MB EPC) by 256x so that the
+scaled-down working sets exercise the same cache/EPC transitions the
+paper's full-size workloads did on real SGX hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.olive import OliveConfig, OliveSystem
+from repro.fl.client import TrainingConfig
+from repro.fl.datasets import (
+    SPECS,
+    SyntheticClassData,
+    partition_clients,
+    server_test_data_by_label,
+)
+from repro.fl.models import build_model
+from repro.sgx.cost import CostParameters
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+#: Paper machine scaled 256x down (same ratios: L2:L3:EPC = 1:8:96).
+SCALED_MACHINE = CostParameters(
+    l2_bytes=4 * 1024,
+    l2_assoc=4,
+    l3_bytes=32 * 1024,
+    l3_assoc=8,
+    epc_bytes=384 * 1024,
+)
+
+#: Client-side defaults mirroring the paper's (N, q, T, alpha, sigma) =
+#: (1000, 0.1, 3, 0.1, 1.12), scaled to N=40, q=0.5 so each experiment
+#: runs in seconds while keeping ~20 participants per round.
+ATTACK_TRAINING = TrainingConfig(
+    local_epochs=1, local_lr=0.2, batch_size=16, sparse_ratio=0.1, clip=1.0
+)
+ATTACK_ROUNDS = 3
+ATTACK_N_CLIENTS = 40
+ATTACK_SAMPLE_RATE = 0.5
+ATTACK_NOISE = 1.12
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render one result table to stdout (the paper's rows/series)."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+    print()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def save_results(name: str, payload: dict) -> None:
+    """Persist a benchmark's series under bench_results/<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    with open(RESULTS_DIR / f"{name}.json", "w") as f:
+        json.dump(payload, f, indent=2, default=str)
+
+
+def run_traced_fl(
+    dataset: str,
+    labels_per_client: int,
+    fixed: bool = True,
+    sparse_ratio: float = 0.1,
+    noise_multiplier: float = ATTACK_NOISE,
+    rounds: int = ATTACK_ROUNDS,
+    n_clients: int = ATTACK_N_CLIENTS,
+    seed: int = 0,
+    aggregator: str = "linear",
+):
+    """One traced OLIVE run plus everything the attack needs."""
+    spec = SPECS[dataset]
+    gen = SyntheticClassData(spec, seed=seed)
+    clients = partition_clients(
+        gen, n_clients, 40, labels_per_client, fixed=fixed, seed=seed
+    )
+    model = build_model(spec.model_name, seed=seed)
+    training = TrainingConfig(
+        local_epochs=ATTACK_TRAINING.local_epochs,
+        local_lr=ATTACK_TRAINING.local_lr,
+        batch_size=ATTACK_TRAINING.batch_size,
+        sparse_ratio=sparse_ratio,
+        clip=ATTACK_TRAINING.clip,
+    )
+    system = OliveSystem(
+        model, clients,
+        OliveConfig(
+            sample_rate=ATTACK_SAMPLE_RATE,
+            noise_multiplier=noise_multiplier,
+            aggregator=aggregator,
+            training=training,
+        ),
+        seed=seed,
+    )
+    logs = system.run(rounds, traced=True)
+    test_data = server_test_data_by_label(gen, 30, seed=seed + 99)
+    true_labels = {c.client_id: c.label_set for c in clients}
+    return system, model, logs, test_data, training, true_labels
+
+
+def make_synthetic_updates(n: int, k: int, d: int, seed: int = 0):
+    """Synthetic sparse gradients for the performance figures (5.5)."""
+    from repro.fl.client import LocalUpdate
+
+    rng = np.random.default_rng(seed)
+    updates = []
+    for cid in range(n):
+        idx = np.sort(rng.choice(d, size=min(k, d), replace=False))
+        updates.append(
+            LocalUpdate(cid, idx.astype(np.int64),
+                        rng.normal(size=len(idx)))
+        )
+    return updates

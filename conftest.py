@@ -1,0 +1,14 @@
+"""Make the src layout importable without installation.
+
+`pip install -e .` requires the `wheel` package for PEP 517 editable
+builds, which is unavailable in offline environments; `python setup.py
+develop` works there instead.  This shim keeps `pytest` self-sufficient
+either way.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

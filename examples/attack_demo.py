@@ -1,0 +1,89 @@
+"""Attack demo: sensitive-label inference from memory access patterns.
+
+Reproduces the paper's Section 4 threat end to end and then shows the
+Section 5 defense neutralizing it:
+
+* phase 1 -- OLIVE misconfigured with the non-oblivious Linear
+  aggregator: the semi-honest server records the enclave's access
+  pattern, recovers every client's top-k gradient indices, and infers
+  which sensitive labels each client's training data contains (JAC /
+  NN / NN-single attacks, `all` and `top-1` metrics);
+* phase 2 -- the same protocol with the fully-oblivious Advanced
+  aggregator: the trace is data-independent and the attack collapses
+  to chance.
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro.attack import AttackConfig, chance_top1, run_attack
+from repro.core import OliveConfig, OliveSystem
+from repro.fl import (
+    SPECS,
+    SyntheticClassData,
+    TrainingConfig,
+    build_model,
+    partition_clients,
+    server_test_data_by_label,
+)
+
+TRAIN = TrainingConfig(local_epochs=1, local_lr=0.2, batch_size=16,
+                       sparse_ratio=0.1, clip=1.0)
+LABELS_PER_CLIENT = 2
+
+
+def run_phase(aggregator: str):
+    spec = SPECS["tiny"]
+    gen = SyntheticClassData(spec, seed=0)
+    clients = partition_clients(gen, 30, 40, LABELS_PER_CLIENT, seed=0)
+    model = build_model(spec.model_name, seed=0)
+    system = OliveSystem(
+        model, clients,
+        OliveConfig(sample_rate=0.5, noise_multiplier=1.12,
+                    aggregator=aggregator, training=TRAIN),
+        seed=0,
+    )
+    logs = system.run(3, traced=True)  # server watching the side channel
+    test_data = server_test_data_by_label(gen, 30, seed=99)
+    true_labels = {c.client_id: c.label_set for c in clients}
+    results = {}
+    for method in ("jac", "nn", "nn_single"):
+        res = run_attack(
+            logs, model, test_data, TRAIN, true_labels, system.d,
+            AttackConfig(method=method, known_label_count=LABELS_PER_CLIENT,
+                         nn_epochs=20, nn_hidden=48),
+        )
+        results[method] = res
+    chance = chance_top1(true_labels, spec.n_labels)
+    return results, chance
+
+
+def report(title, results, chance):
+    print(f"\n--- {title} ---")
+    print(f"{'method':<10} {'all (exact set)':<16} {'top-1':<8} chance top-1")
+    for method, res in results.items():
+        print(f"{method:<10} {res.all_accuracy:<16.3f} "
+              f"{res.top1_accuracy:<8.3f} {chance:.3f}")
+
+
+def main() -> None:
+    print("== OLIVE attack demonstration ==")
+    print("Each of 30 clients holds 2 sensitive labels out of 6;")
+    print("the server tries to infer each client's label set from the")
+    print("enclave's memory access pattern during aggregation.")
+
+    leaky, chance = run_phase("linear")
+    report("Linear aggregation (NOT oblivious) -- the attack works",
+           leaky, chance)
+
+    defended, chance = run_phase("advanced")
+    report("Advanced aggregation (fully oblivious) -- defense holds",
+           defended, chance)
+
+    assert leaky["jac"].top1_accuracy > 2 * chance
+    assert defended["jac"].top1_accuracy <= chance + 0.3
+    print("\nConclusion: identical learning output, but the oblivious")
+    print("aggregator leaves the adversary at chance level.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "OLIVE: oblivious and differentially private federated learning "
+        "on a simulated TEE"
+    ),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

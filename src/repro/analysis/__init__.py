@@ -1,0 +1,23 @@
+"""Leakage quantification: entropies, mutual information between
+observations and label sets, index-label correlation structure, and
+trace statistics."""
+
+from .leakage_metrics import (
+    TraceSummary,
+    index_label_correlation,
+    label_separability,
+    mutual_information,
+    normalized_leakage,
+    observation_entropy,
+    trace_summary,
+)
+
+__all__ = [
+    "TraceSummary",
+    "index_label_correlation",
+    "label_separability",
+    "mutual_information",
+    "normalized_leakage",
+    "observation_entropy",
+    "trace_summary",
+]

@@ -1,0 +1,53 @@
+"""Section 4's sensitive-label inference attack: leakage extraction
+from enclave traces, the JAC / NN / NN-single classifiers, and the
+Algorithm 2 end-to-end pipeline with the all / top-1 metrics."""
+
+from .classifiers import (
+    JacAttack,
+    NnAttack,
+    NnSingleAttack,
+    decide_labels,
+    jaccard,
+    kmeans_1d_top_cluster,
+    multi_hot,
+)
+from .leakage import (
+    RoundObservation,
+    coarsen_indices,
+    feature_dim,
+    observe_round,
+    observe_rounds,
+)
+from .pipeline import (
+    METHODS,
+    AttackConfig,
+    AttackResult,
+    all_accuracy,
+    build_teacher,
+    chance_top1,
+    run_attack,
+    top1_accuracy,
+)
+
+__all__ = [
+    "AttackConfig",
+    "AttackResult",
+    "JacAttack",
+    "METHODS",
+    "NnAttack",
+    "NnSingleAttack",
+    "RoundObservation",
+    "all_accuracy",
+    "build_teacher",
+    "chance_top1",
+    "coarsen_indices",
+    "decide_labels",
+    "feature_dim",
+    "jaccard",
+    "kmeans_1d_top_cluster",
+    "multi_hot",
+    "observe_round",
+    "observe_rounds",
+    "run_attack",
+    "top1_accuracy",
+]

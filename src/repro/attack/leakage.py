@@ -1,0 +1,85 @@
+"""Extracting per-client leaked index sets from enclave traces.
+
+The adversary of Section 3.1 watches the aggregation run.  Under the
+Linear algorithm the trace interleaves a fixed-order scan of the
+concatenated gradient buffer ``g`` with data-dependent touches of the
+aggregation buffer ``g_star``; since the adversary delivers the
+ciphertexts itself, it knows which segment of ``g`` belongs to which
+client and can attribute every ``g_star`` access to a client.  The
+result -- one observed index set per client per round -- is the raw
+input of the attack classifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.aggregation import G_STAR_REGION
+from ..core.obliviousness import leaked_index_sets
+from ..core.olive import OliveRoundLog
+from ..sgx.observer import ObserverConfig, SideChannelObserver
+
+
+@dataclass(frozen=True)
+class RoundObservation:
+    """What the adversary extracted from one round."""
+
+    round_index: int
+    observed: dict[int, frozenset[int]]  # client id -> observed offsets/lines
+
+
+def observe_round(
+    log: OliveRoundLog,
+    granularity: str = "word",
+    gstar_itemsize: int = 4,
+) -> RoundObservation:
+    """Project one round's trace into per-client observed index sets.
+
+    Requires the round to have been run with ``traced=True``.  For a
+    fully oblivious aggregator the extracted sets are identical across
+    clients and rounds (or empty), carrying no information.
+    """
+    if log.trace is None:
+        raise ValueError("round was not traced; run with traced=True")
+    participants = list(log.updates.keys())
+    boundaries = [0]
+    for cid in participants:
+        boundaries.append(boundaries[-1] + log.updates[cid].k)
+    raw_sets = leaked_index_sets(log.trace, G_STAR_REGION, boundaries)
+    observer = SideChannelObserver(
+        G_STAR_REGION,
+        ObserverConfig(granularity=granularity),
+        itemsize=gstar_itemsize,
+    )
+    observed = {
+        cid: observer.indices_to_observation(raw)
+        for cid, raw in zip(participants, raw_sets)
+    }
+    return RoundObservation(round_index=log.round_index, observed=observed)
+
+
+def observe_rounds(
+    logs: list[OliveRoundLog], granularity: str = "word"
+) -> list[RoundObservation]:
+    """Observation for every traced round."""
+    return [observe_round(log, granularity) for log in logs]
+
+
+def coarsen_indices(
+    indices, granularity: str = "word", itemsize: int = 4, line_bytes: int = 64
+) -> frozenset[int]:
+    """Coarsen ground-truth/teacher indices to the observation space."""
+    observer = SideChannelObserver(
+        G_STAR_REGION,
+        ObserverConfig(granularity=granularity, line_bytes=line_bytes),
+        itemsize=itemsize,
+    )
+    return observer.indices_to_observation(indices)
+
+
+def feature_dim(d: int, granularity: str = "word",
+                itemsize: int = 4, line_bytes: int = 64) -> int:
+    """Dimensionality of the observation space for a d-parameter model."""
+    if granularity == "word":
+        return d
+    return (d * itemsize + line_bytes - 1) // line_bytes

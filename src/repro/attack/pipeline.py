@@ -1,0 +1,199 @@
+"""End-to-end sensitive-label inference attack (Algorithm 2).
+
+Pipeline, matching the paper step by step:
+
+1. run (or receive) T traced OLIVE rounds and extract per-client
+   observed index sets from the side channel (:mod:`.leakage`);
+2. build *teacher* observations: for every round t and label l, replay
+   local training from the round's global model on the attacker's
+   public per-label data X_l and record the top-k index set, coarsened
+   into the same observation space;
+3. score every (client, label) pair with JAC / NN / NN-single;
+4. decide the label set (known count, or 1-D 2-means otherwise);
+5. report the ``all`` (exact-set) and ``top-1`` metrics of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.olive import OliveRoundLog
+from ..fl.client import TrainingConfig, compute_update
+from ..fl.datasets import ClientData
+from ..fl.models import Sequential
+from .classifiers import JacAttack, NnAttack, NnSingleAttack, decide_labels
+from .leakage import coarsen_indices, feature_dim, observe_rounds
+
+METHODS = ("jac", "nn", "nn_single")
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Attacker hyperparameters."""
+
+    method: str = "jac"
+    granularity: str = "word"
+    teacher_samples_per_label: int = 3
+    known_label_count: int | None = None
+    nn_hidden: int = 128
+    nn_epochs: int = 30
+    nn_lr: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(f"unknown attack method {self.method!r}")
+
+
+@dataclass
+class AttackResult:
+    """Per-client inferences plus the paper's two success metrics."""
+
+    inferred: dict[int, np.ndarray]
+    scores: dict[int, np.ndarray]
+    true_labels: dict[int, frozenset[int]]
+    all_accuracy: float
+    top1_accuracy: float
+
+
+def build_teacher(
+    logs: list[OliveRoundLog],
+    model: Sequential,
+    test_data_by_label: dict[int, np.ndarray],
+    training: TrainingConfig,
+    config: AttackConfig,
+) -> dict[int, dict[int, list[frozenset[int]]]]:
+    """Teacher observations teacher[t][l] (Algorithm 2, lines 9-12).
+
+    The attacker splits its public X_l into
+    ``teacher_samples_per_label`` shards and replays the client
+    procedure (local SGD from theta^t, top-k sparsify) on each shard,
+    yielding several observation samples per (round, label).
+    """
+    rng = np.random.default_rng(config.seed)
+    teacher: dict[int, dict[int, list[frozenset[int]]]] = {}
+    splits = max(1, config.teacher_samples_per_label)
+    for log in logs:
+        per_label: dict[int, list[frozenset[int]]] = {}
+        for label, x in test_data_by_label.items():
+            shards = np.array_split(np.arange(len(x)), splits)
+            samples = []
+            for shard in shards:
+                if len(shard) == 0:
+                    continue
+                data = ClientData(
+                    client_id=-1,
+                    x=x[shard],
+                    y=np.full(len(shard), label),
+                    label_set=frozenset([label]),
+                )
+                update = compute_update(
+                    model, log.weights_before, data, training, rng
+                )
+                samples.append(
+                    coarsen_indices(update.indices, config.granularity)
+                )
+            per_label[label] = samples
+        teacher[log.round_index] = per_label
+    return teacher
+
+
+def run_attack(
+    logs: list[OliveRoundLog],
+    model: Sequential,
+    test_data_by_label: dict[int, np.ndarray],
+    training: TrainingConfig,
+    true_labels: dict[int, frozenset[int]],
+    d: int,
+    config: AttackConfig | None = None,
+) -> AttackResult:
+    """Execute Algorithm 2 over a sequence of traced rounds."""
+    config = config or AttackConfig()
+    n_labels = len(test_data_by_label)
+    dim = feature_dim(d, config.granularity)
+
+    observations = observe_rounds(logs, config.granularity)
+    # Per client: round index -> observed set, only rounds they joined.
+    per_client: dict[int, dict[int, frozenset[int]]] = {}
+    for obs in observations:
+        for cid, observed in obs.observed.items():
+            per_client.setdefault(cid, {})[obs.round_index] = observed
+
+    teacher = build_teacher(logs, model, test_data_by_label, training, config)
+
+    scores: dict[int, np.ndarray] = {}
+    if config.method == "jac":
+        attack = JacAttack()
+        for cid, by_round in per_client.items():
+            scores[cid] = attack.score(by_round, teacher, n_labels)
+    elif config.method == "nn":
+        attack = NnAttack(
+            hidden=config.nn_hidden, epochs=config.nn_epochs,
+            lr=config.nn_lr, seed=config.seed,
+        )
+        models = attack.fit_round_models(teacher, dim, n_labels)
+        for cid, by_round in per_client.items():
+            scores[cid] = attack.score(by_round, models, dim, n_labels)
+    else:  # nn_single
+        attack = NnSingleAttack(
+            hidden=config.nn_hidden, epochs=config.nn_epochs,
+            lr=config.nn_lr, seed=config.seed,
+        )
+        single_model, rounds = attack.fit(teacher, dim, n_labels)
+        for cid, by_round in per_client.items():
+            scores[cid] = attack.score(by_round, single_model, rounds, dim)
+
+    inferred: dict[int, np.ndarray] = {}
+    for cid, s in scores.items():
+        known = config.known_label_count
+        if known is not None and cid in true_labels:
+            # Fixed setting: the attacker knows each client's set size.
+            known = len(true_labels[cid])
+        inferred[cid] = decide_labels(s, known_count=known)
+
+    return AttackResult(
+        inferred=inferred,
+        scores=scores,
+        true_labels=true_labels,
+        all_accuracy=all_accuracy(inferred, true_labels),
+        top1_accuracy=top1_accuracy(scores, true_labels),
+    )
+
+
+def all_accuracy(
+    inferred: dict[int, np.ndarray], true_labels: dict[int, frozenset[int]]
+) -> float:
+    """Fraction of attacked clients whose label set matches exactly."""
+    attacked = [cid for cid in inferred if cid in true_labels]
+    if not attacked:
+        return 0.0
+    hits = sum(
+        1 for cid in attacked
+        if frozenset(int(l) for l in inferred[cid]) == true_labels[cid]
+    )
+    return hits / len(attacked)
+
+
+def top1_accuracy(
+    scores: dict[int, np.ndarray], true_labels: dict[int, frozenset[int]]
+) -> float:
+    """Fraction of clients whose highest-scored label is truly theirs."""
+    attacked = [cid for cid in scores if cid in true_labels]
+    if not attacked:
+        return 0.0
+    hits = sum(
+        1 for cid in attacked
+        if int(np.argmax(scores[cid])) in true_labels[cid]
+    )
+    return hits / len(attacked)
+
+
+def chance_top1(true_labels: dict[int, frozenset[int]], n_labels: int) -> float:
+    """Expected top-1 success of random guessing (baseline reference)."""
+    if not true_labels:
+        return 0.0
+    return float(
+        np.mean([len(s) / n_labels for s in true_labels.values()])
+    )

@@ -1,0 +1,340 @@
+"""OLIVE's server-side aggregation algorithms (Sections 3.3 and 5).
+
+Four aggregators, each in two interchangeable implementations:
+
+* a **traced** implementation that runs element-at-a-time against
+  :class:`repro.sgx.memory.TracedArray` regions, producing the exact
+  adversary-visible access pattern (used by the security analysis, the
+  attack evaluation, and the obliviousness property tests);
+* a **fast** implementation (numpy-vectorized, same arithmetic and the
+  same asymptotic work) used by the wall-clock benchmarks.
+
+Algorithms:
+
+=============  =========================  ==========================
+name           paper                      complexity (time / space)
+=============  =========================  ==========================
+``linear``     Alg. 5, "Linear"           O(nk) / O(nk + d)
+``baseline``   Alg. 3, "Baseline"         O(nk d / c) / O(nk + d)
+``advanced``   Alg. 4, "Advanced"         O((nk+d) log^2 (nk+d)) / O(nk+d)
+``path_oram``  Sec. 5, ORAM baseline      O((nk+d) log d) ORAM accesses
+=============  =========================  ==========================
+
+``linear`` is fully oblivious for dense gradients (Prop. 3.1) but leaks
+every sparse index (Prop. 3.2); ``baseline`` is fully oblivious at
+cacheline granularity (Prop. 5.1); ``advanced`` is fully oblivious at
+word granularity (Prop. 5.2).
+
+Region naming convention: the concatenated input gradients live in
+region ``"g"`` (one 8-byte cell per ``(index, value)`` weight) and the
+aggregation buffer in region ``"g_star"`` (4-byte weights, c = 16 per
+64-byte cacheline, matching the paper's Section 5.1 arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..fl.client import LocalUpdate
+from ..fl.sparsify import densify
+from ..oblivious.primitives import o_mov
+from ..oblivious.sort import bitonic_sort_numpy, bitonic_sort_traced, next_power_of_two
+from ..oram.path_oram import PathORAM
+from ..sgx.memory import Trace, TracedArray
+
+#: Dummy index written by oblivious folding; larger than any model index.
+M0 = (1 << 31) - 1
+
+#: Weights per 64-byte cacheline in the aggregation buffer (4-byte weights).
+WEIGHTS_PER_CACHELINE = 16
+
+G_REGION = "g"
+G_STAR_REGION = "g_star"
+
+
+def _concat_updates(
+    updates: Sequence[LocalUpdate],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate client updates into flat index/value arrays."""
+    if not updates:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    idx = np.concatenate([u.indices for u in updates]).astype(np.int64)
+    val = np.concatenate([u.values for u in updates]).astype(np.float64)
+    return idx, val
+
+
+def _validate(indices: np.ndarray, d: int) -> None:
+    if len(indices) and (indices.min() < 0 or indices.max() >= d):
+        raise ValueError("gradient index out of model range")
+
+
+# ----------------------------------------------------------------------
+# Linear (Algorithm 5) -- not oblivious for sparse input
+# ----------------------------------------------------------------------
+
+
+def aggregate_linear(updates: Sequence[LocalUpdate], d: int) -> np.ndarray:
+    """Fast Linear aggregation: plain scatter-add."""
+    idx, val = _concat_updates(updates)
+    _validate(idx, d)
+    return densify(idx, val, d)
+
+
+def aggregate_linear_traced(
+    updates: Sequence[LocalUpdate], d: int, trace: Trace
+) -> np.ndarray:
+    """Traced Linear aggregation.
+
+    The scan of ``g`` is fixed-order, but every input weight triggers a
+    read+write of ``g_star[index]`` -- the data-dependent accesses of
+    Proposition 3.2 that the attack of Section 4 consumes.
+    """
+    idx, val = _concat_updates(updates)
+    _validate(idx, d)
+    g = TracedArray(G_REGION, list(zip(idx.tolist(), val.tolist())),
+                    trace=trace, itemsize=8)
+    g_star = TracedArray.zeros(G_STAR_REGION, d, trace=trace, itemsize=4)
+    for pos in range(len(g)):
+        index, value = g.read(pos)
+        current = g_star.read(index)
+        g_star.write(index, current + value)
+    return np.asarray(g_star.snapshot(), dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# Baseline (Algorithm 3) -- cacheline-level fully oblivious
+# ----------------------------------------------------------------------
+
+
+def aggregate_baseline(
+    updates: Sequence[LocalUpdate], d: int,
+    cacheline_weights: int = WEIGHTS_PER_CACHELINE,
+) -> np.ndarray:
+    """Fast Baseline aggregation.
+
+    Performs the same Theta(nk * d / c) element-update work as the
+    traced version (one vectorized pass over the congruent stripe of
+    ``g_star`` per input weight), so wall-clock comparisons against
+    Advanced reproduce the paper's crossovers.
+    """
+    idx, val = _concat_updates(updates)
+    _validate(idx, d)
+    g_star = np.zeros(d)
+    n_lines = (d + cacheline_weights - 1) // cacheline_weights
+    lines = np.arange(n_lines)
+    for index, value in zip(idx.tolist(), val.tolist()):
+        offset = index % cacheline_weights
+        stripe = np.minimum(lines * cacheline_weights + offset, d - 1)
+        hits = stripe == index
+        g_star[stripe] = g_star[stripe] + hits * value
+    return g_star
+
+
+def aggregate_baseline_traced(
+    updates: Sequence[LocalUpdate], d: int, trace: Trace,
+    cacheline_weights: int = WEIGHTS_PER_CACHELINE,
+) -> np.ndarray:
+    """Traced Baseline aggregation (Algorithm 3).
+
+    For every input weight the whole aggregation buffer is swept, one
+    touched weight per cacheline (the position congruent to the secret
+    index modulo c); the true update is merged in registers via
+    ``o_mov``.  Word-level addresses depend on ``index mod c`` only,
+    so the cacheline-level trace is input-independent (Prop. 5.1).
+    """
+    idx, val = _concat_updates(updates)
+    _validate(idx, d)
+    g = TracedArray(G_REGION, list(zip(idx.tolist(), val.tolist())),
+                    trace=trace, itemsize=8)
+    g_star = TracedArray.zeros(G_STAR_REGION, d, trace=trace, itemsize=4)
+    n_lines = (d + cacheline_weights - 1) // cacheline_weights
+    for pos in range(len(g)):
+        index, value = g.read(pos)
+        offset = index % cacheline_weights
+        for line in range(n_lines):
+            # Touch exactly one weight per cacheline; the final partial
+            # line is clamped so every input sweeps the same lines.
+            target = min(line * cacheline_weights + offset, d - 1)
+            current = g_star.read(target)
+            flag = target == index
+            g_star.write(target, o_mov(flag, current + value, current))
+    return np.asarray(g_star.snapshot(), dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# Advanced (Algorithm 4) -- fully oblivious
+# ----------------------------------------------------------------------
+
+
+def _fold_sorted(idx: np.ndarray, val: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized oblivious-folding semantics on an index-sorted array.
+
+    The last element of every equal-index run keeps ``(index, run
+    sum)``; every other position becomes ``(M0, 0)``.
+    """
+    m = len(idx)
+    if m == 0:
+        return idx.copy(), val.copy()
+    last = np.empty(m, dtype=bool)
+    last[:-1] = idx[:-1] != idx[1:]
+    last[-1] = True
+    csum = np.cumsum(val)
+    run_totals = csum[last]
+    run_totals[1:] -= csum[last][:-1]
+    out_idx = np.full(m, M0, dtype=np.int64)
+    out_val = np.zeros(m)
+    out_idx[last] = idx[last]
+    out_val[last] = run_totals
+    return out_idx, out_val
+
+
+def aggregate_advanced(updates: Sequence[LocalUpdate], d: int) -> np.ndarray:
+    """Fast Advanced aggregation (Algorithm 4, stage-vectorized).
+
+    initialization -> bitonic sort by index -> folding -> bitonic sort
+    -> first d values.  Identical network and arithmetic to the traced
+    version; validated against it in the test suite.
+    """
+    idx, val = _concat_updates(updates)
+    _validate(idx, d)
+    base = len(idx) + d
+    m = next_power_of_two(base)
+    work_idx = np.full(m, M0, dtype=np.int64)
+    work_val = np.zeros(m)
+    work_idx[: len(idx)] = idx
+    work_val[: len(val)] = val
+    work_idx[len(idx) : base] = np.arange(d)  # zero-valued initialization
+    bitonic_sort_numpy(work_idx, work_val)
+    folded_idx, folded_val = _fold_sorted(work_idx, work_val)
+    bitonic_sort_numpy(folded_idx, folded_val)
+    if not np.array_equal(folded_idx[:d], np.arange(d)):
+        raise AssertionError("folding lost a model index")
+    return folded_val[:d].copy()
+
+
+def aggregate_advanced_traced(
+    updates: Sequence[LocalUpdate], d: int, trace: Trace
+) -> np.ndarray:
+    """Traced Advanced aggregation (Algorithm 4, element-at-a-time).
+
+    Every phase touches memory in an order fixed by ``nk + d`` alone:
+    the fill is linear, both bitonic sorts follow the length-determined
+    comparator network, and oblivious folding is one linear pass whose
+    conditional carry/flush happens in registers via ``o_mov``
+    (Prop. 5.2).
+    """
+    idx, val = _concat_updates(updates)
+    _validate(idx, d)
+    base = len(idx) + d
+    m = next_power_of_two(base)
+    g = TracedArray.zeros(G_REGION, m, trace=trace, itemsize=8)
+
+    # Initialization (lines 1-3): inputs, d zero-valued weights, padding.
+    for pos in range(len(idx)):
+        g.write(pos, (int(idx[pos]), float(val[pos])))
+    for j in range(d):
+        g.write(len(idx) + j, (j, 0.0))
+    for pos in range(base, m):
+        g.write(pos, (M0, 0.0))
+
+    # First oblivious sort by index (lines 4-5).
+    bitonic_sort_traced(g, key=lambda w: w[0])
+
+    # Oblivious folding (lines 6-14).
+    carry_idx, carry_val = g.read(0)
+    for pos in range(1, m):
+        nxt_idx, nxt_val = g.read(pos)
+        flag = nxt_idx == carry_idx
+        prior = o_mov(flag, (M0, 0.0), (carry_idx, carry_val))
+        g.write(pos - 1, prior)
+        carry_val = o_mov(flag, carry_val + nxt_val, nxt_val)
+        carry_idx = nxt_idx
+    g.write(m - 1, (carry_idx, carry_val))
+
+    # Second oblivious sort (lines 15-16) and output (line 17).
+    bitonic_sort_traced(g, key=lambda w: w[0])
+    out = np.empty(d)
+    for j in range(d):
+        index, value = g.read(j)
+        if index != j:
+            raise AssertionError("folding lost a model index")
+        out[j] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# Path ORAM baseline
+# ----------------------------------------------------------------------
+
+
+def aggregate_path_oram(
+    updates: Sequence[LocalUpdate], d: int,
+    trace: Trace | None = None,
+    bucket_size: int = 4,
+    stash_limit: int = 20,
+    seed: int | None = None,
+) -> np.ndarray:
+    """ORAM-based aggregation: g* lives entirely inside a Path ORAM.
+
+    Initialize d zero blocks, read-modify-write one block per input
+    weight, then read out all d blocks -- the general-purpose scheme the
+    paper compares against (Section 5, "ORAM-based method").
+    """
+    idx, val = _concat_updates(updates)
+    _validate(idx, d)
+    oram = PathORAM(d, bucket_size=bucket_size, stash_limit=stash_limit,
+                    trace=trace, seed=seed)
+    for index, value in zip(idx.tolist(), val.tolist()):
+        current = oram.read(index)
+        oram.write(index, current + value)
+    return np.asarray([oram.read(j) for j in range(d)], dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# Uniform front-end
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregatorSpec:
+    """Descriptor for one aggregation algorithm."""
+
+    name: str
+    oblivious_sparse: str  # 'none' | 'cacheline' | 'full'
+
+    def run(self, updates: Sequence[LocalUpdate], d: int) -> np.ndarray:
+        """Fast-path aggregation."""
+        return _FAST[self.name](updates, d)
+
+    def run_traced(
+        self, updates: Sequence[LocalUpdate], d: int, trace: Trace
+    ) -> np.ndarray:
+        """Traced aggregation recording the adversary-visible pattern."""
+        return _TRACED[self.name](updates, d, trace)
+
+
+_FAST = {
+    "linear": aggregate_linear,
+    "baseline": aggregate_baseline,
+    "advanced": aggregate_advanced,
+    "path_oram": aggregate_path_oram,
+}
+
+_TRACED = {
+    "linear": aggregate_linear_traced,
+    "baseline": aggregate_baseline_traced,
+    "advanced": aggregate_advanced_traced,
+    "path_oram": lambda updates, d, trace: aggregate_path_oram(
+        updates, d, trace=trace
+    ),
+}
+
+AGGREGATORS: dict[str, AggregatorSpec] = {
+    "linear": AggregatorSpec("linear", oblivious_sparse="none"),
+    "baseline": AggregatorSpec("baseline", oblivious_sparse="cacheline"),
+    "advanced": AggregatorSpec("advanced", oblivious_sparse="full"),
+    "path_oram": AggregatorSpec("path_oram", oblivious_sparse="full"),
+}

@@ -1,0 +1,106 @@
+"""Checkpointing and trace serialization.
+
+Production FL servers checkpoint between rounds; OLIVE's state is the
+global weights plus the privacy ledger (rounds consumed) and, when
+adaptive clipping is active, the current clip.  Enclave session keys
+are deliberately NOT serialized -- on restart, clients re-attest the
+fresh enclave, exactly as a real SGX redeployment would require.
+
+Traces serialize to a compact ``.npz`` for offline analysis (the
+attack and the leakage metrics both accept reloaded traces).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..sgx.memory import Trace
+from .olive import OliveSystem
+
+
+def save_checkpoint(system: OliveSystem, path: str | Path) -> None:
+    """Write the restartable server state to ``path`` (.npz)."""
+    path = Path(path)
+    meta = {
+        "rounds": system.accountant.steps,
+        "sample_rate": system.config.sample_rate,
+        "noise_multiplier": system.config.noise_multiplier,
+        "delta": system.config.delta,
+        "aggregator": system.config.aggregator,
+        "clip": system.clipper.clip if system.clipper
+                else system.config.training.clip,
+        "version": 1,
+    }
+    np.savez(
+        path,
+        global_weights=system.global_weights,
+        meta=json.dumps(meta),
+    )
+
+
+def load_checkpoint(system: OliveSystem, path: str | Path) -> dict:
+    """Restore weights + privacy ledger into a freshly built system.
+
+    The system must have been constructed with the same model
+    architecture and DP parameters; mismatches raise so a silently
+    wrong privacy ledger cannot occur.  Returns the checkpoint
+    metadata.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        weights = archive["global_weights"]
+        meta = json.loads(str(archive["meta"]))
+    if weights.size != system.d:
+        raise ValueError(
+            f"checkpoint holds {weights.size} weights, system expects {system.d}"
+        )
+    for field_name in ("sample_rate", "noise_multiplier", "delta"):
+        if not np.isclose(meta[field_name], getattr(system.config, field_name)):
+            raise ValueError(
+                f"checkpoint {field_name}={meta[field_name]} differs from "
+                f"system config; refusing to restore the privacy ledger"
+            )
+    system.global_weights = weights.copy()
+    system.model.set_flat(system.global_weights)
+    system.accountant.steps = int(meta["rounds"])
+    if system.clipper is not None:
+        system.clipper.clip = float(meta["clip"])
+    return meta
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Serialize a trace to ``.npz`` (region table + packed accesses)."""
+    regions = sorted({a.region for a in trace})
+    region_ids = {r: i for i, r in enumerate(regions)}
+    n = len(trace)
+    region_col = np.empty(n, dtype=np.int32)
+    offset_col = np.empty(n, dtype=np.int64)
+    op_col = np.empty(n, dtype=np.int8)
+    for i, access in enumerate(trace):
+        region_col[i] = region_ids[access.region]
+        offset_col[i] = access.offset
+        op_col[i] = 0 if access.op == "read" else 1
+    np.savez_compressed(
+        Path(path),
+        regions=json.dumps(regions),
+        region=region_col,
+        offset=offset_col,
+        op=op_col,
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Inverse of :func:`save_trace`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        regions = json.loads(str(archive["regions"]))
+        region_col = archive["region"]
+        offset_col = archive["offset"]
+        op_col = archive["op"]
+    trace = Trace()
+    for rid, offset, op in zip(region_col, offset_col, op_col):
+        trace.record(regions[int(rid)], int(offset),
+                     "read" if op == 0 else "write")
+    return trace

@@ -1,0 +1,151 @@
+"""Machine-checking obliviousness (Definition 2.2).
+
+An algorithm is fully oblivious when its access pattern is identical
+(or statistically indistinguishable, for randomized algorithms) across
+all same-length inputs.  This module turns that definition into
+executable checks used by the property tests and the security analysis:
+
+* :func:`traces_equal` / :func:`trace_distance` -- exact comparison of
+  two recorded traces, optionally coarsened to cachelines;
+* :func:`check_oblivious` -- run an algorithm on many random same-shape
+  inputs and report whether every trace matched the first (the paper's
+  delta = 0 case); a single mismatch certifies non-obliviousness with a
+  witness input pair;
+* :func:`empirical_statistical_distance` -- estimate the statistical
+  distance between trace distributions of a *randomized* algorithm on
+  two fixed inputs (used for the shuffle-based components).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..sgx.memory import Trace
+
+
+def trace_key(trace: Trace, granularity: str = "word",
+              line_bytes: int = 64, itemsizes: dict[str, int] | None = None):
+    """Hashable projection of a trace at the chosen granularity."""
+    if granularity == "word":
+        return trace.signature()
+    if granularity != "cacheline":
+        raise ValueError(f"unknown granularity {granularity!r}")
+    itemsizes = itemsizes or {}
+    return tuple(
+        (a.region, (a.offset * itemsizes.get(a.region, 8)) // line_bytes, a.op)
+        for a in trace
+    )
+
+
+def traces_equal(a: Trace, b: Trace, granularity: str = "word",
+                 itemsizes: dict[str, int] | None = None) -> bool:
+    """True when two traces are indistinguishable at the granularity."""
+    return trace_key(a, granularity, itemsizes=itemsizes) == trace_key(
+        b, granularity, itemsizes=itemsizes
+    )
+
+
+def trace_distance(a: Trace, b: Trace) -> int:
+    """Number of positions at which two traces differ (inf-type metric).
+
+    0 means identical; any positive value is a concrete distinguisher
+    for the adversary.
+    """
+    sa, sb = a.signature(), b.signature()
+    common = sum(1 for x, y in zip(sa, sb) if x == y)
+    return max(len(sa), len(sb)) - common
+
+
+@dataclass
+class ObliviousnessReport:
+    """Outcome of an empirical obliviousness check."""
+
+    oblivious: bool
+    trials: int
+    first_mismatch_trial: int | None = None
+
+    def __bool__(self) -> bool:
+        return self.oblivious
+
+
+def check_oblivious(
+    run: Callable[[object], Trace],
+    inputs: Iterable[object],
+    granularity: str = "word",
+    itemsizes: dict[str, int] | None = None,
+) -> ObliviousnessReport:
+    """Execute ``run`` on each input; all traces must match the first.
+
+    ``run`` receives one input and must return the recorded
+    :class:`Trace`.  Deterministic algorithms only: a randomized
+    algorithm needs :func:`empirical_statistical_distance`.
+    """
+    reference = None
+    trial = -1
+    for trial, item in enumerate(inputs):
+        key = trace_key(run(item), granularity, itemsizes=itemsizes)
+        if reference is None:
+            reference = key
+        elif key != reference:
+            return ObliviousnessReport(
+                oblivious=False, trials=trial + 1, first_mismatch_trial=trial
+            )
+    return ObliviousnessReport(oblivious=True, trials=trial + 1)
+
+
+def empirical_statistical_distance(
+    run: Callable[[object], Trace],
+    input_a: object,
+    input_b: object,
+    samples: int = 50,
+    granularity: str = "word",
+    itemsizes: dict[str, int] | None = None,
+) -> float:
+    """Monte-Carlo total-variation distance between trace distributions.
+
+    Runs the (randomized) algorithm ``samples`` times on each input and
+    compares the empirical distributions of trace keys.  0 means the
+    samples are indistinguishable; 1 means disjoint support (the
+    Linear-on-sparse case of Proposition 3.2).
+    """
+    counts_a: Counter = Counter()
+    counts_b: Counter = Counter()
+    for _ in range(samples):
+        counts_a[trace_key(run(input_a), granularity, itemsizes=itemsizes)] += 1
+        counts_b[trace_key(run(input_b), granularity, itemsizes=itemsizes)] += 1
+    support = set(counts_a) | set(counts_b)
+    return 0.5 * sum(
+        abs(counts_a[k] / samples - counts_b[k] / samples) for k in support
+    )
+
+
+def leaked_index_sets(
+    trace: Trace, region: str, boundaries: Sequence[int]
+) -> list[frozenset[int]]:
+    """Split ``region`` accesses into per-client observed index sets.
+
+    ``boundaries`` are the cumulative input-weight counts per client
+    (client i owns input positions ``[boundaries[i], boundaries[i+1])``
+    of the concatenated gradient vector ``g``).  Accesses to ``region``
+    are attributed to the client whose ``g`` segment was being scanned,
+    using the interleaving of the Linear algorithm (read g[pos], read
+    g*[idx], write g*[idx]).
+    """
+    sets: list[set[int]] = [set() for _ in range(len(boundaries) - 1)]
+    current_client = -1
+    for access in trace:
+        if access.region == "g" and access.op == "read":
+            pos = access.offset
+            # Find the owning client; boundaries are sorted.
+            while (
+                current_client + 1 < len(boundaries) - 1
+                and pos >= boundaries[current_client + 1]
+            ):
+                current_client += 1
+            if current_client < 0 and pos >= boundaries[0]:
+                current_client = 0
+        elif access.region == region and current_client >= 0:
+            sets[current_client].add(access.offset)
+    return [frozenset(s) for s in sets]

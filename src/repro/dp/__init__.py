@@ -1,0 +1,35 @@
+"""Differential privacy: Gaussian mechanism, RDP (moments) accountant,
+and the LDP / shuffle-model baselines for the Table 1 comparison."""
+
+from .adaptive_clipping import AdaptiveClipper
+from .accountant import (
+    DEFAULT_ORDERS,
+    PrivacyAccountant,
+    compute_rdp,
+    epsilon_for,
+    noise_multiplier_for,
+    rdp_to_dp,
+)
+from .ldp import (
+    gaussian_ldp_sigma,
+    local_epsilon_for_central,
+    perturb_local,
+    shuffle_amplified_epsilon,
+)
+from .mechanisms import gaussian_perturb, sensitivity_of_mean
+
+__all__ = [
+    "AdaptiveClipper",
+    "DEFAULT_ORDERS",
+    "PrivacyAccountant",
+    "compute_rdp",
+    "epsilon_for",
+    "gaussian_ldp_sigma",
+    "gaussian_perturb",
+    "local_epsilon_for_central",
+    "noise_multiplier_for",
+    "perturb_local",
+    "rdp_to_dp",
+    "sensitivity_of_mean",
+    "shuffle_amplified_epsilon",
+]

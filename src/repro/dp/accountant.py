@@ -1,0 +1,152 @@
+"""RDP accountant for the subsampled Gaussian mechanism.
+
+The paper quantifies the ``(epsilon, delta)``-DP of the trained model
+with the moments accountant (Abadi et al.), whose modern formulation is
+Renyi DP of the Poisson-subsampled Gaussian (Mironov et al.).  This
+module implements:
+
+* :func:`compute_rdp` -- RDP at integer orders alpha of one subsampled
+  Gaussian step with sampling rate q and noise multiplier sigma, via the
+  exact binomial expansion
+  ``A(alpha) = sum_i C(alpha,i) (1-q)^(alpha-i) q^i exp(i(i-1)/(2 sigma^2))``;
+* :func:`rdp_to_dp` -- conversion to ``(epsilon, delta)`` by minimizing
+  ``rdp(alpha) + log(1/delta)/(alpha-1)`` over orders;
+* :class:`PrivacyAccountant` -- accumulates rounds and reports the
+  current client-level budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from scipy.special import gammaln, logsumexp
+
+DEFAULT_ORDERS: tuple[int, ...] = tuple(range(2, 64)) + (
+    64, 80, 96, 128, 192, 256, 512,
+)
+
+
+def _log_binom(n: int, k: int) -> float:
+    return float(gammaln(n + 1) - gammaln(k + 1) - gammaln(n - k + 1))
+
+
+def _log_a_int(q: float, sigma: float, alpha: int) -> float:
+    """log A(alpha) for integer alpha >= 2 (Mironov et al., eq. for
+    the Poisson-subsampled Gaussian)."""
+    terms = []
+    log_q = math.log(q)
+    log_1mq = math.log1p(-q)
+    for i in range(alpha + 1):
+        log_term = (
+            _log_binom(alpha, i)
+            + i * log_q
+            + (alpha - i) * log_1mq
+            + (i * i - i) / (2.0 * sigma * sigma)
+        )
+        terms.append(log_term)
+    return float(logsumexp(terms))
+
+
+def compute_rdp(
+    q: float, noise_multiplier: float, steps: int,
+    orders: Sequence[int] = DEFAULT_ORDERS,
+) -> list[float]:
+    """RDP of ``steps`` subsampled-Gaussian rounds at each order."""
+    if not 0.0 < q <= 1.0:
+        raise ValueError("sampling rate must be in (0, 1]")
+    if noise_multiplier <= 0 or noise_multiplier * noise_multiplier == 0.0:
+        # The second clause catches subnormal sigmas whose square
+        # underflows to zero: no meaningful guarantee either way.
+        raise ValueError("noise multiplier must be positive for accounting")
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    rdp = []
+    for alpha in orders:
+        if alpha < 2:
+            raise ValueError("orders must be integers >= 2")
+        if q == 1.0:
+            # Unsubsampled Gaussian: RDP(alpha) = alpha / (2 sigma^2).
+            eps_alpha = alpha / (2.0 * noise_multiplier**2)
+        else:
+            eps_alpha = _log_a_int(q, noise_multiplier, alpha) / (alpha - 1)
+        rdp.append(eps_alpha * steps)
+    return rdp
+
+
+def rdp_to_dp(
+    rdp: Sequence[float], orders: Sequence[int], delta: float
+) -> tuple[float, int]:
+    """Best ``(epsilon, order)`` at the target delta."""
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    best_eps = math.inf
+    best_order = orders[0]
+    for eps_alpha, alpha in zip(rdp, orders):
+        eps = eps_alpha + math.log(1.0 / delta) / (alpha - 1)
+        if eps < best_eps:
+            best_eps = eps
+            best_order = alpha
+    return best_eps, best_order
+
+
+def epsilon_for(
+    q: float, noise_multiplier: float, steps: int, delta: float,
+    orders: Sequence[int] = DEFAULT_ORDERS,
+) -> float:
+    """Convenience: epsilon after ``steps`` rounds at the target delta."""
+    rdp = compute_rdp(q, noise_multiplier, steps, orders)
+    eps, _ = rdp_to_dp(rdp, orders, delta)
+    return eps
+
+
+def noise_multiplier_for(
+    q: float, steps: int, target_epsilon: float, delta: float,
+    orders: Sequence[int] = DEFAULT_ORDERS,
+    tolerance: float = 1e-3,
+) -> float:
+    """Smallest sigma achieving the target budget (bisection search)."""
+    if target_epsilon <= 0:
+        raise ValueError("target epsilon must be positive")
+    lo, hi = 1e-2, 1.0
+    while epsilon_for(q, hi, steps, delta, orders) > target_epsilon:
+        hi *= 2.0
+        if hi > 1e4:
+            raise RuntimeError("target budget unreachable")
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if epsilon_for(q, mid, steps, delta, orders) > target_epsilon:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+@dataclass
+class PrivacyAccountant:
+    """Accumulates per-round RDP and reports the running budget."""
+
+    sampling_rate: float
+    noise_multiplier: float
+    delta: float
+    orders: tuple[int, ...] = DEFAULT_ORDERS
+    steps: int = field(default=0)
+
+    def step(self, rounds: int = 1) -> None:
+        """Consume one (or more) subsampled-Gaussian rounds."""
+        self.steps += rounds
+
+    @property
+    def epsilon(self) -> float:
+        """Current (epsilon, delta)-DP budget at the configured delta."""
+        if self.steps == 0:
+            return 0.0
+        if (self.noise_multiplier <= 0
+                or self.noise_multiplier * self.noise_multiplier == 0.0):
+            # Noiseless (or underflowing-sigma) runs: no DP guarantee.
+            return math.inf
+        return epsilon_for(
+            self.sampling_rate, self.noise_multiplier, self.steps,
+            self.delta, self.orders,
+        )

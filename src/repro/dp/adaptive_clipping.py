@@ -1,0 +1,84 @@
+"""Adaptive clipping for DP-FedAVG (Andrew et al., the paper's [5]).
+
+A fixed clipping bound C either truncates signal (too small) or wastes
+the privacy budget on noise (too large).  Adaptive clipping tracks a
+target quantile of the client update norms with a differentially
+private quantile estimator:
+
+* each client reports one private bit ``b_i = 1[||delta_i|| <= C]``;
+* the server averages the (noised) bits and nudges C geometrically
+  toward the target quantile gamma:
+  ``C <- C * exp(-lr * (mean(b) - gamma))``.
+
+The bit aggregate is itself noised (sigma_b), and the paper's [5]
+accounting treats the bit as a second, cheap query; here we expose the
+machinery and verify its control behaviour, while the main accountant
+covers the value query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class AdaptiveClipper:
+    """Geometric DP quantile tracker for the clipping bound.
+
+    Parameters
+    ----------
+    initial_clip:
+        Starting bound C_0.
+    target_quantile:
+        gamma: fraction of client norms that should fall below C.
+    learning_rate:
+        eta_C of the geometric update.
+    bit_noise:
+        Stddev of the Gaussian noise added to the bit sum (set 0 to
+        disable for ablations).
+    """
+
+    initial_clip: float = 1.0
+    target_quantile: float = 0.5
+    learning_rate: float = 0.2
+    bit_noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.initial_clip <= 0:
+            raise ValueError("initial clip must be positive")
+        if not 0.0 < self.target_quantile < 1.0:
+            raise ValueError("target quantile must be in (0, 1)")
+        if self.learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        if self.bit_noise < 0:
+            raise ValueError("bit noise must be non-negative")
+        self.clip = self.initial_clip
+        self.history: list[float] = [self.initial_clip]
+
+    def clip_bit(self, norm: float) -> int:
+        """The client-side private bit: was my norm within the bound?"""
+        return int(norm <= self.clip)
+
+    def update(self, bits: list[int] | np.ndarray,
+               rng: np.random.Generator | None = None) -> float:
+        """One server-side quantile step; returns the new bound."""
+        bits = np.asarray(bits, dtype=np.float64)
+        if len(bits) == 0:
+            return self.clip
+        total = float(bits.sum())
+        if self.bit_noise > 0:
+            rng = rng or np.random.default_rng()
+            total += float(rng.normal(0.0, self.bit_noise))
+        fraction = total / len(bits)
+        self.clip *= float(np.exp(
+            -self.learning_rate * (fraction - self.target_quantile)
+        ))
+        self.history.append(self.clip)
+        return self.clip
+
+    def step_with_norms(self, norms: list[float],
+                        rng: np.random.Generator | None = None) -> float:
+        """Convenience: derive the bits from raw norms and update."""
+        return self.update([self.clip_bit(n) for n in norms], rng=rng)

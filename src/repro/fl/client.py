@@ -1,0 +1,151 @@
+"""FL client: local training, sparsification, clipping, encryption.
+
+Implements ``EncClient`` of Algorithm 1: starting from the current
+global weights, run local SGD over the private shard, take the model
+delta, top-k sparsify it, L2-clip the surviving values, and encrypt the
+``(index, value)`` records for the enclave under the RA-negotiated key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sgx import crypto
+from .datasets import ClientData
+from .models import Sequential, softmax_cross_entropy
+from .sparsify import l2_clip, random_k, threshold, top_ratio
+
+
+@dataclass(frozen=True)
+class LocalUpdate:
+    """A sparse model delta produced by one client in one round."""
+
+    client_id: int
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != len(self.values):
+            raise ValueError("indices/values length mismatch")
+
+    @property
+    def k(self) -> int:
+        """Number of sparsified coordinates in this update."""
+        return len(self.indices)
+
+
+#: Supported client-side sparsifiers.  ``top_k`` is the paper's default
+#: (data-dependent, leaky); ``threshold`` is the other data-dependent
+#: family called out in Section 3.3 (it additionally leaks k itself);
+#: ``random_k`` is the data-independent strawman that does not leak but
+#: discards signal.
+SPARSIFIERS = ("top_k", "threshold", "random_k")
+
+#: Local optimizers: ``fedavg`` shares a multi-epoch weight delta
+#: (DP-FedAVG); ``fedsgd`` shares one full-batch gradient step
+#: (DP-FedSGD) -- the paper treats both uniformly as "gradients".
+ALGORITHMS = ("fedavg", "fedsgd")
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Client-side hyperparameters of Algorithm 1."""
+
+    local_epochs: int = 1
+    local_lr: float = 0.1
+    batch_size: int = 32
+    sparse_ratio: float = 0.1
+    clip: float = 1.0
+    sparsifier: str = "top_k"
+    threshold_tau: float = 0.01
+    algorithm: str = "fedavg"
+
+    def __post_init__(self) -> None:
+        if self.sparsifier not in SPARSIFIERS:
+            raise ValueError(f"unknown sparsifier {self.sparsifier!r}")
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+
+
+def local_train(
+    model: Sequential,
+    global_weights: np.ndarray,
+    data: ClientData,
+    config: TrainingConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Run local optimization from ``global_weights``; returns the
+    dense delta (multi-epoch SGD for FedAVG, one full-batch gradient
+    step for FedSGD)."""
+    model.set_flat(global_weights)
+    if config.algorithm == "fedsgd":
+        logits = model.forward(data.x, train=True)
+        _, dlogits = softmax_cross_entropy(logits, data.y)
+        model.backward(dlogits)
+        model.sgd_step(config.local_lr)
+        return model.get_flat() - global_weights
+    n = len(data)
+    for _ in range(config.local_epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, config.batch_size):
+            batch = order[start : start + config.batch_size]
+            logits = model.forward(data.x[batch], train=True)
+            _, dlogits = softmax_cross_entropy(logits, data.y[batch])
+            model.backward(dlogits)
+            model.sgd_step(config.local_lr)
+    return model.get_flat() - global_weights
+
+
+def sparsify_delta(
+    delta: np.ndarray, config: TrainingConfig, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the configured sparsifier to a dense delta."""
+    if config.sparsifier == "top_k":
+        return top_ratio(delta, config.sparse_ratio)
+    if config.sparsifier == "threshold":
+        indices, values = threshold(delta, config.threshold_tau)
+        if len(indices) == 0:
+            # Never send an empty update; fall back to the single
+            # largest coordinate (threshold too aggressive).
+            return top_ratio(delta, 1.0 / max(delta.size, 1))
+        return indices, values
+    k = max(1, int(np.ceil(config.sparse_ratio * delta.size)))
+    return random_k(delta, k, rng)
+
+
+def compute_update(
+    model: Sequential,
+    global_weights: np.ndarray,
+    data: ClientData,
+    config: TrainingConfig,
+    rng: np.random.Generator,
+    clip_override: float | None = None,
+) -> LocalUpdate:
+    """EncClient lines 15-22: train, sparsify, L2-clip.
+
+    ``clip_override`` supports server-broadcast adaptive clipping
+    (Andrew et al.): when set, it replaces ``config.clip`` this round.
+    """
+    delta = local_train(model, global_weights, data, config, rng)
+    indices, values = sparsify_delta(delta, config, rng)
+    values = l2_clip(values, clip_override or config.clip)
+    return LocalUpdate(client_id=data.client_id, indices=indices, values=values)
+
+
+def encrypt_update(update: LocalUpdate, key: bytes) -> crypto.Ciphertext:
+    """EncClient line 22: seal the sparse gradient under the RA key."""
+    payload = crypto.encode_sparse_gradient(update.indices, update.values)
+    return crypto.seal(key, payload)
+
+
+def encrypt_quantized_update(
+    update: LocalUpdate, key: bytes, bits: int, rng: np.random.Generator
+) -> crypto.Ciphertext:
+    """Quantize (QSGD) then seal: the bandwidth-saving upload path."""
+    from .quantize import quantize_stochastic
+
+    q = quantize_stochastic(update, bits, rng)
+    payload = crypto.encode_quantized_gradient(q.indices, q.levels, q.scale)
+    return crypto.seal(key, payload)

@@ -1,0 +1,160 @@
+"""Synthetic label-structured datasets standing in for the paper's data.
+
+The paper evaluates on MNIST, CIFAR-10/100, and Purchase100.  None of
+those are distributable here, so each is replaced by a synthetic
+class-conditional Gaussian dataset with the *same input shape and label
+count*.  What the attack of Section 4 exploits is the correlation
+between a client's label set and the top-k index set of its locally
+trained update; any class-conditional distribution induces that
+correlation (each class pulls on its own output-layer rows and on the
+features that separate it), so the attack dynamics -- and the defense's
+effect -- are preserved.
+
+Client partitioning follows Section 4.2: each client holds a subset of
+labels, either a *fixed* size known to the attacker or a *random* size
+up to a maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape metadata tying a dataset to its paper global model."""
+
+    name: str
+    input_shape: tuple[int, ...]
+    n_labels: int
+    model_name: str
+
+    @property
+    def input_dim(self) -> int:
+        """Flattened input dimensionality."""
+        out = 1
+        for s in self.input_shape:
+            out *= s
+        return out
+
+
+SPECS: dict[str, DatasetSpec] = {
+    "tiny": DatasetSpec("tiny", (24,), 6, "tiny_mlp"),
+    "mnist": DatasetSpec("mnist", (784,), 10, "mnist_mlp"),
+    "cifar10": DatasetSpec("cifar10", (3072,), 10, "cifar10_mlp"),
+    "cifar10_cnn": DatasetSpec("cifar10_cnn", (3, 32, 32), 10, "cifar10_cnn"),
+    "purchase100": DatasetSpec("purchase100", (600,), 100, "purchase100_mlp"),
+    "cifar100": DatasetSpec("cifar100", (3, 32, 32), 100, "cifar100_cnn"),
+}
+
+
+class SyntheticClassData:
+    """Class-conditional Gaussian generator for one dataset spec.
+
+    Each label ``l`` has a prototype ``mu_l ~ N(0, 1)^dim``; samples are
+    ``mu_l * signal + N(0, noise)``.  Purchase100-like tabular data is
+    thresholded to {0, 1} to mimic binary purchase features.
+    """
+
+    def __init__(
+        self,
+        spec: DatasetSpec,
+        seed: int = 0,
+        signal: float = 1.0,
+        noise: float = 0.5,
+    ) -> None:
+        self.spec = spec
+        self.signal = signal
+        self.noise = noise
+        rng = np.random.default_rng(seed)
+        self._prototypes = rng.normal(size=(spec.n_labels, spec.input_dim))
+        self._binary = spec.name == "purchase100"
+        self._seed = seed
+
+    def sample(
+        self, labels: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one sample per entry of ``labels``."""
+        base = self._prototypes[labels] * self.signal
+        x = base + rng.normal(0.0, self.noise, size=base.shape)
+        if self._binary:
+            x = (x > 0).astype(np.float64)
+        if len(self.spec.input_shape) > 1:
+            x = x.reshape((len(labels),) + self.spec.input_shape)
+        return x
+
+    def balanced(
+        self, n_per_label: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """n_per_label samples of every label (the server's public data)."""
+        labels = np.repeat(np.arange(self.spec.n_labels), n_per_label)
+        return self.sample(labels, rng), labels
+
+
+@dataclass
+class ClientData:
+    """One client's private shard."""
+
+    client_id: int
+    x: np.ndarray
+    y: np.ndarray
+    label_set: frozenset[int] = field(default_factory=frozenset)
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+
+def assign_label_sets(
+    n_clients: int,
+    n_labels: int,
+    labels_per_client: int,
+    fixed: bool,
+    rng: np.random.Generator,
+) -> list[frozenset[int]]:
+    """Label subsets per client (Section 4.2's fixed/random settings)."""
+    if not 1 <= labels_per_client <= n_labels:
+        raise ValueError("labels_per_client out of range")
+    sets = []
+    for _ in range(n_clients):
+        size = labels_per_client
+        if not fixed:
+            size = int(rng.integers(1, labels_per_client + 1))
+        chosen = rng.choice(n_labels, size=size, replace=False)
+        sets.append(frozenset(int(l) for l in chosen))
+    return sets
+
+
+def partition_clients(
+    generator: SyntheticClassData,
+    n_clients: int,
+    samples_per_client: int,
+    labels_per_client: int,
+    fixed: bool = True,
+    seed: int = 0,
+) -> list[ClientData]:
+    """Generate each client's local shard from its label subset."""
+    rng = np.random.default_rng(seed)
+    label_sets = assign_label_sets(
+        n_clients, generator.spec.n_labels, labels_per_client, fixed, rng
+    )
+    clients = []
+    for cid, label_set in enumerate(label_sets):
+        choices = np.array(sorted(label_set))
+        y = rng.choice(choices, size=samples_per_client)
+        x = generator.sample(y, rng)
+        clients.append(ClientData(client_id=cid, x=x, y=y, label_set=label_set))
+    return clients
+
+
+def server_test_data_by_label(
+    generator: SyntheticClassData, n_per_label: int, seed: int = 1
+) -> dict[int, np.ndarray]:
+    """The attacker's public i.i.d. per-label test data, X_l for l in L."""
+    rng = np.random.default_rng(seed)
+    out: dict[int, np.ndarray] = {}
+    for label in range(generator.spec.n_labels):
+        labels = np.full(n_per_label, label)
+        out[label] = generator.sample(labels, rng)
+    return out

@@ -1,0 +1,83 @@
+"""Index-set compression for sparse uploads.
+
+Top-k index sets are sorted and dense-ish in [0, d); sending them as
+raw u32s wastes most of the bits.  This module implements the standard
+delta + varint (LEB128) encoding FL systems use to squeeze the index
+stream, completing the paper's "regardless of its quantization and/or
+encoding methods" pipeline: the leak analysis is unchanged because the
+server must decode the indices to aggregate, whatever their wire form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def varint_encode(values: list[int]) -> bytes:
+    """LEB128-encode a list of non-negative integers."""
+    out = bytearray()
+    for value in values:
+        if value < 0:
+            raise ValueError("varint requires non-negative integers")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def varint_decode(raw: bytes) -> list[int]:
+    """Inverse of :func:`varint_encode`."""
+    values = []
+    current = 0
+    shift = 0
+    for byte in raw:
+        current |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+            if shift > 63:
+                raise ValueError("varint too long")
+        else:
+            values.append(current)
+            current = 0
+            shift = 0
+    if shift != 0:
+        raise ValueError("truncated varint stream")
+    return values
+
+
+def encode_index_set(indices: np.ndarray) -> bytes:
+    """Delta + varint encoding of a sorted index array."""
+    arr = np.asarray(indices, dtype=np.int64)
+    if len(arr) == 0:
+        return b""
+    if np.any(arr < 0):
+        raise ValueError("indices must be non-negative")
+    if np.any(np.diff(arr) < 0):
+        raise ValueError("indices must be sorted ascending")
+    deltas = np.empty(len(arr), dtype=np.int64)
+    deltas[0] = arr[0]
+    deltas[1:] = np.diff(arr)
+    return varint_encode(deltas.tolist())
+
+
+def decode_index_set(raw: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_index_set`."""
+    deltas = varint_decode(raw)
+    if not deltas:
+        return np.empty(0, dtype=np.int64)
+    return np.cumsum(np.asarray(deltas, dtype=np.int64))
+
+
+def index_wire_bytes(indices: np.ndarray) -> int:
+    """Bytes on the wire for the compressed index set."""
+    return len(encode_index_set(indices))
+
+
+def raw_index_bytes(k: int) -> int:
+    """Bytes for the uncompressed u32 representation."""
+    return 4 * k

@@ -1,0 +1,179 @@
+"""Pairwise-masking secure aggregation (Bonawitz et al.) -- and why it
+does not fix the sparsification leak.
+
+The paper's Section 3.3 ("Generality") argues the gradient-index side
+channel is not SGX-specific: *any* scheme that hides gradient values
+but reveals which model coordinates each client touches -- e.g. sparse
+secure aggregation (SparseSecAgg) -- leaks the same index sets the
+attack of Section 4 consumes.  This module provides that comparison
+substrate:
+
+* dense secure aggregation: every pair of clients derives a shared
+  mask from a DH key agreement; client i adds ``+mask_ij`` for j > i
+  and ``-mask_ij`` for j < i, so the server-side sum cancels all masks
+  exactly and reveals only the aggregate;
+* sparse secure aggregation: the same masking applied per *declared
+  index set* -- values are hidden, but the index sets travel in the
+  clear (they must, or the server could not align the masked values),
+  which is precisely the leak.
+
+Masks are generated from pairwise seeds with the SHA-256 counter
+stream of :mod:`repro.sgx.crypto`, mapped into a finite field of
+fixed-point values so cancellation is exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sgx.attestation import DiffieHellman
+from .client import LocalUpdate
+
+FIELD_BITS = 62
+FIELD_MOD = 1 << FIELD_BITS
+FIXED_POINT_SCALE = 1 << 24
+
+
+def encode_fixed_point(values: np.ndarray) -> np.ndarray:
+    """Map floats into the masking field (two's-complement style)."""
+    scaled = np.round(values * FIXED_POINT_SCALE).astype(np.int64)
+    return np.mod(scaled, FIELD_MOD)
+
+
+def decode_fixed_point(field_values: np.ndarray, n_summands: int) -> np.ndarray:
+    """Invert :func:`encode_fixed_point` after summation.
+
+    ``n_summands`` bounds the magnitude so the centred representative
+    is recovered correctly.
+    """
+    centred = np.where(
+        field_values >= FIELD_MOD // 2, field_values - FIELD_MOD, field_values
+    )
+    return centred.astype(np.float64) / FIXED_POINT_SCALE
+
+
+def _mask_stream(seed: bytes, length: int) -> np.ndarray:
+    """Deterministic field elements from a pairwise seed."""
+    out = np.empty(length, dtype=np.int64)
+    counter = 0
+    pos = 0
+    while pos < length:
+        block = hashlib.sha256(seed + counter.to_bytes(8, "big")).digest()
+        for off in range(0, 32, 8):
+            if pos >= length:
+                break
+            word = int.from_bytes(block[off : off + 8], "big")
+            out[pos] = word % FIELD_MOD
+            pos += 1
+        counter += 1
+    return out
+
+
+@dataclass
+class SecAggClient:
+    """One secure-aggregation participant with pairwise mask seeds."""
+
+    client_id: int
+    pair_seeds: dict[int, bytes]
+
+    def mask_dense(self, values: np.ndarray) -> np.ndarray:
+        """Masked dense vector: encoded values plus signed pair masks."""
+        masked = encode_fixed_point(values)
+        for peer, seed in self.pair_seeds.items():
+            mask = _mask_stream(seed, len(values))
+            if self.client_id < peer:
+                masked = np.mod(masked + mask, FIELD_MOD)
+            else:
+                masked = np.mod(masked - mask, FIELD_MOD)
+        return masked
+
+    def mask_sparse(self, update: LocalUpdate, d: int) -> "MaskedSparseUpdate":
+        """SparseSecAgg-style upload: masked values, PLAINTEXT indices.
+
+        The masks are derived per model coordinate (seed stream over
+        the full dimension, gathered at the declared indices) so that
+        coordinate-aligned masks cancel whenever both peers include the
+        coordinate -- the scheme's correctness requires the server to
+        see which coordinates each client sent.
+        """
+        masked = encode_fixed_point(update.values)
+        for peer, seed in self.pair_seeds.items():
+            full_mask = _mask_stream(seed, d)
+            gathered = full_mask[update.indices]
+            if self.client_id < peer:
+                masked = np.mod(masked + gathered, FIELD_MOD)
+            else:
+                masked = np.mod(masked - gathered, FIELD_MOD)
+        return MaskedSparseUpdate(
+            client_id=self.client_id,
+            indices=update.indices.copy(),
+            masked_values=masked,
+        )
+
+
+@dataclass(frozen=True)
+class MaskedSparseUpdate:
+    """What the SparseSecAgg server receives: indices are visible."""
+
+    client_id: int
+    indices: np.ndarray
+    masked_values: np.ndarray
+
+
+def setup_pairwise_seeds(client_ids: list[int],
+                         seed: int | None = None) -> dict[int, SecAggClient]:
+    """Run pairwise DH between all clients; returns ready participants."""
+    import random
+
+    rng = random.Random(seed)
+    dh = {
+        cid: DiffieHellman(secret=rng.getrandbits(256) or 2)
+        for cid in client_ids
+    }
+    clients = {}
+    for cid in client_ids:
+        seeds = {
+            peer: dh[cid].shared_key(dh[peer].public)
+            for peer in client_ids
+            if peer != cid
+        }
+        clients[cid] = SecAggClient(client_id=cid, pair_seeds=seeds)
+    return clients
+
+
+def aggregate_dense_masked(masked_vectors: list[np.ndarray],
+                           n_clients: int) -> np.ndarray:
+    """Server-side sum of dense masked vectors; masks cancel exactly."""
+    total = np.zeros_like(masked_vectors[0])
+    for vec in masked_vectors:
+        total = np.mod(total + vec, FIELD_MOD)
+    return decode_fixed_point(total, n_clients)
+
+
+def aggregate_sparse_masked(
+    uploads: list[MaskedSparseUpdate], d: int
+) -> tuple[np.ndarray, dict[int, frozenset[int]]]:
+    """Server-side SparseSecAgg aggregation.
+
+    Coordinates where the contributing client sets differ retain
+    residual masks (the well-known alignment problem of sparse secure
+    aggregation); coordinates shared by all contributors -- and the
+    full aggregate when every pair either shares or omits a coordinate
+    together -- decode exactly.  Crucially, the returned ``leaked``
+    mapping is the per-client plaintext index set: the attack surface
+    exists with no TEE anywhere.
+    """
+    field_total = np.zeros(d, dtype=np.int64)
+    contributors: dict[int, set[int]] = {}
+    leaked: dict[int, frozenset[int]] = {}
+    for upload in uploads:
+        leaked[upload.client_id] = frozenset(upload.indices.tolist())
+        for idx, val in zip(upload.indices.tolist(),
+                            upload.masked_values.tolist()):
+            field_total[idx] = (field_total[idx] + val) % FIELD_MOD
+            contributors.setdefault(idx, set()).add(upload.client_id)
+    aggregate = decode_fixed_point(field_total, len(uploads))
+    return aggregate, leaked

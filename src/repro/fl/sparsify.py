@@ -1,0 +1,79 @@
+"""Gradient sparsification and clipping (Algorithm 1, EncClient).
+
+Top-k sparsification -- keeping the k coordinates of largest absolute
+value -- is the communication-cost reducer whose *data-dependent index
+choice* creates the side channel the paper attacks.  Threshold and
+random-k variants are included for the generality claim of Section 3.3
+(any data-dependent sparsification leaks; random-k is the
+data-independent strawman that does not).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k(delta: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and values of the k largest-|.|$ coordinates.
+
+    Indices are returned sorted ascending (the wire order the paper's
+    clients use; the attack treats them as a set regardless).
+    """
+    d = delta.size
+    if not 1 <= k <= d:
+        raise ValueError(f"k must be in [1, {d}], got {k}")
+    chosen = np.argpartition(np.abs(delta), d - k)[d - k :]
+    chosen.sort()
+    return chosen.astype(np.int64), delta[chosen].astype(np.float64)
+
+
+def top_ratio(delta: np.ndarray, alpha: float) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k with k = ceil(alpha * d) (the paper's 'sparse ratio')."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("sparse ratio must be in (0, 1]")
+    k = max(1, int(np.ceil(alpha * delta.size)))
+    return top_k(delta, k)
+
+
+def threshold(delta: np.ndarray, tau: float) -> tuple[np.ndarray, np.ndarray]:
+    """All coordinates with |value| >= tau (variable-length output)."""
+    if tau < 0:
+        raise ValueError("threshold must be non-negative")
+    chosen = np.flatnonzero(np.abs(delta) >= tau).astype(np.int64)
+    return chosen, delta[chosen].astype(np.float64)
+
+
+def random_k(
+    delta: np.ndarray, k: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """k uniformly random coordinates -- data-independent, leak-free."""
+    d = delta.size
+    if not 1 <= k <= d:
+        raise ValueError(f"k must be in [1, {d}], got {k}")
+    chosen = np.sort(rng.choice(d, size=k, replace=False)).astype(np.int64)
+    return chosen, delta[chosen].astype(np.float64)
+
+
+def densify(indices: np.ndarray, values: np.ndarray, d: int) -> np.ndarray:
+    """Expand a sparse gradient back to a dense length-d vector.
+
+    Duplicate indices accumulate (matching the server-side aggregation
+    semantics of Algorithm 5).
+    """
+    if len(indices) != len(values):
+        raise ValueError("indices/values length mismatch")
+    if len(indices) and (indices.min() < 0 or indices.max() >= d):
+        raise ValueError("index out of range")
+    dense = np.zeros(d)
+    np.add.at(dense, indices, values)
+    return dense
+
+
+def l2_clip(values: np.ndarray, clip: float) -> np.ndarray:
+    """Scale values so their L2 norm is at most ``clip`` (Alg. 1 line 21)."""
+    if clip <= 0:
+        raise ValueError("clipping bound must be positive")
+    norm = float(np.linalg.norm(values))
+    if norm <= clip or norm == 0.0:
+        return values.copy()
+    return values * (clip / norm)

@@ -1,0 +1,42 @@
+"""Oblivious building blocks: register-level select/swap primitives,
+Batcher's bitonic sorting network, oblivious shuffle, and padding
+helpers for the differentially oblivious path."""
+
+from .compaction import pad_to_length, pad_with_dummies, truncated_geometric_noise
+from .primitives import o_access, o_equal, o_max, o_min, o_mov, o_swap, o_write
+from .shuffle import oblivious_shuffle_numpy, oblivious_shuffle_traced
+from .sort import (
+    apply_network_traced,
+    bitonic_network,
+    bitonic_sort_numpy,
+    bitonic_sort_traced,
+    comparator_count,
+    is_power_of_two,
+    network_access_offsets,
+    next_power_of_two,
+    odd_even_merge_network,
+)
+
+__all__ = [
+    "apply_network_traced",
+    "bitonic_network",
+    "bitonic_sort_numpy",
+    "bitonic_sort_traced",
+    "comparator_count",
+    "is_power_of_two",
+    "network_access_offsets",
+    "next_power_of_two",
+    "o_access",
+    "o_equal",
+    "o_max",
+    "o_min",
+    "o_mov",
+    "o_swap",
+    "o_write",
+    "odd_even_merge_network",
+    "oblivious_shuffle_numpy",
+    "oblivious_shuffle_traced",
+    "pad_to_length",
+    "pad_with_dummies",
+    "truncated_geometric_noise",
+]

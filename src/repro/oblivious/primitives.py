@@ -1,0 +1,94 @@
+"""Register-level oblivious primitives (Appendix A).
+
+The paper implements ``o_mov`` / ``o_swap`` with the x86 ``CMOV``
+instruction: the selected value travels register-to-register based on a
+flag, producing *no* data-dependent memory access, branch, or timing
+difference.  In this simulation the memory trace records accesses to
+:class:`repro.sgx.memory.TracedArray` regions only, so register
+arithmetic is invisible to the adversary by construction -- matching
+the CMOV trust model.  The implementations below are additionally
+branch-free at the Python level (pure arithmetic selection) so the
+control flow itself is input-independent, mirroring the single-path
+discipline the paper uses against branch-prediction and timing attacks.
+
+Values may be scalars or same-length tuples (the paper's
+``(index, value)`` weights are 2-tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+
+def _as_int_flag(flag: Any) -> int:
+    """Normalize a condition to the integers 0/1 without branching."""
+    return int(bool(flag))
+
+
+def o_mov(flag: Any, x: Any, y: Any) -> Any:
+    """Branch-free select: returns ``x`` when ``flag`` else ``y``.
+
+    Matches Listing 1: ``o_mov(flag, x, y) == x if flag else y``,
+    computed arithmetically so no conditional control flow depends on
+    ``flag``.  Tuples are selected element-wise.
+    """
+    f = _as_int_flag(flag)
+    if isinstance(x, tuple):
+        return tuple(o_mov(f, xi, yi) for xi, yi in zip(x, y))
+    return f * x + (1 - f) * y
+
+
+def o_swap(flag: Any, x: Any, y: Any) -> Tuple[Any, Any]:
+    """Branch-free conditional swap: returns ``(y, x)`` when ``flag``.
+
+    Matches Listing 2.  For numeric payloads the swap is computed with
+    the select primitive; tuples swap element-wise.
+    """
+    f = _as_int_flag(flag)
+    if isinstance(x, tuple):
+        pairs = [o_swap(f, xi, yi) for xi, yi in zip(x, y)]
+        return tuple(p[0] for p in pairs), tuple(p[1] for p in pairs)
+    return o_mov(f, y, x), o_mov(f, x, y)
+
+
+def o_min(x: float, y: float) -> float:
+    """Branch-free minimum."""
+    return o_mov(x < y, x, y)
+
+
+def o_max(x: float, y: float) -> float:
+    """Branch-free maximum."""
+    return o_mov(x > y, x, y)
+
+
+def o_equal(x: int, y: int) -> int:
+    """Branch-free equality flag (0/1)."""
+    return int(x == y)
+
+
+def o_access(array, secret_offset: int) -> Any:
+    """Obliviously read ``array[secret_offset]`` by scanning everything.
+
+    The classic linear-scan ORAM-of-last-resort: every element is
+    touched, the wanted one is retained via ``o_mov``, so the trace is
+    independent of ``secret_offset``.  O(len(array)) per access; used by
+    the Path ORAM stash and position map (Zerotrace's approach).
+    """
+    result: Any = None
+    first = array.read(0)
+    result = first
+    for i in range(len(array)):
+        value = array.read(i)
+        result = o_mov(i == secret_offset, value, result)
+    return result
+
+
+def o_write(array, secret_offset: int, value: Any) -> None:
+    """Obliviously write ``array[secret_offset] = value`` via full scan.
+
+    Every slot is read and rewritten; only the target slot actually
+    changes, selected in registers.  Trace depends only on the length.
+    """
+    for i in range(len(array)):
+        current = array.read(i)
+        array.write(i, o_mov(i == secret_offset, value, current))

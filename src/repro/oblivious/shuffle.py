@@ -1,0 +1,52 @@
+"""Oblivious shuffle: random-key bitonic sort.
+
+Used by the differentially oblivious aggregation path (Section 5.4),
+which pads the gradient multiset with dummies and then obliviously
+shuffles before a linear scatter pass.  Sorting by fresh uniform random
+keys yields a permutation whose trace is input-independent (the network
+schedule is fixed); the permutation itself is uniform up to key
+collisions, which are negligible for 64-bit keys.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+import numpy as np
+
+from .sort import bitonic_sort_numpy, bitonic_sort_traced, is_power_of_two
+
+_KEY_BITS = 62
+
+
+def oblivious_shuffle_traced(array, rng: random.Random | None = None) -> None:
+    """Shuffle a power-of-two :class:`TracedArray` in place.
+
+    Each element is tagged with a random key (register-held, untraced),
+    the pair array is bitonically sorted by key, and the tags dropped.
+    The key draw and the sort schedule are both data-independent.
+    """
+    rng = rng or random.Random()
+    n = len(array)
+    if not is_power_of_two(n):
+        raise ValueError("oblivious shuffle needs a power-of-two length")
+    for i in range(n):
+        value = array.read(i)
+        array.write(i, (rng.getrandbits(_KEY_BITS), value))
+    bitonic_sort_traced(array, key=lambda tagged: tagged[0])
+    for i in range(n):
+        tagged = array.read(i)
+        array.write(i, tagged[1])
+
+
+def oblivious_shuffle_numpy(
+    *payloads: np.ndarray, rng: np.random.Generator | None = None
+) -> None:
+    """Vectorized equivalent: shuffle payload arrays with one permutation."""
+    rng = rng or np.random.default_rng()
+    if not payloads:
+        return
+    n = len(payloads[0])
+    keys = rng.integers(0, 1 << _KEY_BITS, size=n, dtype=np.int64)
+    bitonic_sort_numpy(keys, *payloads)

@@ -1,0 +1,189 @@
+"""Batcher's bitonic sorting network (Section 5.2's oblivious sort).
+
+A sorting network compares and swaps positions in a schedule fixed by
+the input *length* alone, so applying it with the register-oblivious
+:func:`repro.oblivious.primitives.o_swap` at every comparator yields a
+fully oblivious sort: the access trace is the same for every input of a
+given length (the core of the paper's Proposition 5.2 proof).
+
+Two interchangeable implementations are provided:
+
+* :func:`bitonic_sort_traced` -- element-at-a-time over a
+  :class:`repro.sgx.memory.TracedArray`; every comparator records four
+  accesses (read i, read j, write i, write j).  Used when the adversary
+  trace matters (security tests, the attack evaluation).
+* :func:`bitonic_sort_numpy` -- the same network applied stage-by-stage
+  with vectorized numpy compare-exchanges.  Used by the performance
+  benchmarks where only the result and the (structurally generated)
+  address stream matter.
+
+Both require no padding from callers: non-power-of-two inputs raise,
+because the aggregation algorithms pad with dummy weights themselves
+(the padding *is* part of the algorithm in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .primitives import o_swap
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when n is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= n (>= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def bitonic_network(n: int) -> Iterator[tuple[int, int, bool]]:
+    """Comparator schedule ``(i, j, ascending)`` for a length-n network.
+
+    ``n`` must be a power of two.  The schedule depends only on ``n``;
+    this data-independence is what makes the sort oblivious.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"bitonic network needs a power-of-two length, got {n}")
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    yield i, partner, ascending
+            j //= 2
+        k *= 2
+
+
+def odd_even_merge_network(n: int) -> Iterator[tuple[int, int, bool]]:
+    """Batcher's odd-even mergesort comparator schedule.
+
+    The second classic O(n log^2 n) sorting network; slightly fewer
+    comparators than the bitonic network and every comparator is
+    ascending.  Offered as an alternative backend for the oblivious
+    sort (see the sorting-network ablation benchmark); ``n`` must be a
+    power of two.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"odd-even merge network needs a power of two, got {n}")
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(k):
+                    left = i + j
+                    right = i + j + k
+                    if left // (2 * p) == right // (2 * p):
+                        yield left, right, True
+            k //= 2
+        p *= 2
+
+
+def apply_network_traced(
+    array,
+    network: Iterator[tuple[int, int, bool]],
+    key: Callable[[object], object] = lambda w: w,
+) -> None:
+    """Run any comparator schedule obliviously over a traced array."""
+    for i, j, ascending in network:
+        a = array.read(i)
+        b = array.read(j)
+        out_of_order = (key(a) > key(b)) == ascending
+        a, b = o_swap(out_of_order, a, b)
+        array.write(i, a)
+        array.write(j, b)
+
+
+def comparator_count(n: int) -> int:
+    """Number of comparators in the length-n network: n/2 * s(s+1)/2 stages."""
+    if not is_power_of_two(n):
+        raise ValueError("power-of-two length required")
+    stages = n.bit_length() - 1
+    return (n // 2) * stages * (stages + 1) // 2
+
+
+def bitonic_sort_traced(
+    array, key: Callable[[object], object] = lambda w: w
+) -> None:
+    """Sort a power-of-two :class:`TracedArray` in place, obliviously.
+
+    Every comparator reads both elements, computes the order flag in
+    registers, and conditionally swaps with ``o_swap``; both elements
+    are always written back, so the trace is length-determined.
+    """
+    n = len(array)
+    for i, j, ascending in bitonic_network(n):
+        a = array.read(i)
+        b = array.read(j)
+        out_of_order = (key(a) > key(b)) == ascending
+        a, b = o_swap(out_of_order, a, b)
+        array.write(i, a)
+        array.write(j, b)
+
+
+def bitonic_sort_numpy(keys: np.ndarray, *payloads: np.ndarray) -> None:
+    """Apply the same network to numpy arrays in place, stage-vectorized.
+
+    ``keys`` drives the comparisons; each payload array is permuted
+    identically.  All arrays must share a power-of-two length.
+    """
+    n = len(keys)
+    if not is_power_of_two(n):
+        raise ValueError(f"bitonic sort needs a power-of-two length, got {n}")
+    for p in payloads:
+        if len(p) != n:
+            raise ValueError("payload length mismatch")
+    if n == 1:
+        return
+    idx = np.arange(n)
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            partner = idx ^ j
+            lower = idx < partner
+            i_lo = idx[lower]
+            i_hi = partner[lower]
+            ascending = (i_lo & k) == 0
+            a = keys[i_lo]
+            b = keys[i_hi]
+            swap = (a > b) == ascending
+            sw_lo = i_lo[swap]
+            sw_hi = i_hi[swap]
+            keys[sw_lo], keys[sw_hi] = keys[sw_hi].copy(), keys[sw_lo].copy()
+            for p in payloads:
+                p[sw_lo], p[sw_hi] = p[sw_hi].copy(), p[sw_lo].copy()
+            j //= 2
+        k *= 2
+
+
+def network_access_offsets(n: int) -> np.ndarray:
+    """Element offsets touched by the traced sort, in order.
+
+    Each comparator touches offsets ``i, j, i, j`` (two reads, two
+    writes).  Because the schedule is length-determined, this stream is
+    exactly the adversary-visible access pattern of the oblivious sort
+    and feeds the cycle cost model.
+    """
+    pairs = []
+    for i, j, _ in bitonic_network(n):
+        pairs.append((i, j))
+    if not pairs:
+        return np.empty(0, dtype=np.int64)
+    arr = np.asarray(pairs, dtype=np.int64)
+    out = np.empty(len(arr) * 4, dtype=np.int64)
+    out[0::4] = arr[:, 0]
+    out[1::4] = arr[:, 1]
+    out[2::4] = arr[:, 0]
+    out[3::4] = arr[:, 1]
+    return out

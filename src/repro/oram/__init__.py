@@ -1,0 +1,13 @@
+"""General-purpose ORAM comparators: flat Path ORAM with oblivious
+stash, and the Zerotrace-style recursive-position-map construction."""
+
+from .path_oram import DUMMY, PathORAM, StashOverflow
+from .recursive import RecursiveMap, RecursivePathORAM
+
+__all__ = [
+    "DUMMY",
+    "PathORAM",
+    "RecursiveMap",
+    "RecursivePathORAM",
+    "StashOverflow",
+]

@@ -1,0 +1,114 @@
+"""Simulated SGX remote attestation (RA).
+
+Reproduces the protocol-level behaviour of Section 2.2: an enclave
+exposes a *measurement* (hash of its initial code/data identity), a
+trusted attestation service signs a *quote* over that measurement, and a
+client verifies the quote against the expected measurement before
+exchanging a shared key.  A failed verification aborts the client's
+participation, exactly as Algorithm 1 prescribes.
+
+Key exchange is classic finite-field Diffie-Hellman over a fixed
+2048-bit MODP group (RFC 3526 group 14), authenticated on the enclave
+side by inclusion of the enclave's public share in the signed quote.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+# RFC 3526, 2048-bit MODP group 14.
+_DH_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+_DH_GENERATOR = 2
+
+
+class AttestationError(Exception):
+    """Quote verification failed: wrong measurement or bad signature."""
+
+
+def measure(code_identity: bytes) -> bytes:
+    """Enclave measurement: hash of initial code/data (MRENCLAVE)."""
+    return hashlib.sha256(b"mrenclave:" + code_identity).digest()
+
+
+@dataclass(frozen=True)
+class Quote:
+    """Signed attestation report binding a measurement to a DH share."""
+
+    measurement: bytes
+    dh_public: int
+    signature: bytes
+
+
+class AttestationService:
+    """Stand-in for the Intel Attestation Service (trusted third party).
+
+    Holds a signing key; enclaves request quote signatures, clients
+    verify them.  HMAC plays the role of the EPID group signature: the
+    relevant property (unforgeability relative to the trusted service)
+    is preserved.
+    """
+
+    def __init__(self, signing_key: bytes | None = None) -> None:
+        self._signing_key = signing_key or os.urandom(32)
+
+    def sign_quote(self, measurement: bytes, dh_public: int) -> Quote:
+        """Sign an attestation report for an enclave."""
+        payload = measurement + dh_public.to_bytes(256, "big")
+        sig = hmac.new(self._signing_key, payload, hashlib.sha256).digest()
+        return Quote(measurement=measurement, dh_public=dh_public, signature=sig)
+
+    def verify_quote(self, quote: Quote) -> bool:
+        """Check a quote's signature against this service's key."""
+        payload = quote.measurement + quote.dh_public.to_bytes(256, "big")
+        expected = hmac.new(self._signing_key, payload, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, quote.signature)
+
+
+class DiffieHellman:
+    """One party's ephemeral DH state over the fixed MODP group."""
+
+    def __init__(self, secret: int | None = None) -> None:
+        self._secret = secret or int.from_bytes(os.urandom(32), "big")
+        self.public = pow(_DH_GENERATOR, self._secret, _DH_PRIME)
+
+    def shared_key(self, peer_public: int) -> bytes:
+        """Derive the session key from the peer's public share."""
+        if not 1 < peer_public < _DH_PRIME - 1:
+            raise AttestationError("invalid DH public share")
+        shared = pow(peer_public, self._secret, _DH_PRIME)
+        return hashlib.sha256(b"ra-kdf:" + shared.to_bytes(256, "big")).digest()
+
+
+def client_attest(
+    service: AttestationService,
+    quote: Quote,
+    expected_measurement: bytes,
+    client_dh: DiffieHellman,
+) -> bytes:
+    """Client side of RA: verify the quote, then derive the session key.
+
+    Raises :class:`AttestationError` when the quote is forged or the
+    enclave identity differs from what the client expects -- the client
+    must refuse to join FL in that case (Section 3.2).
+    """
+    if not service.verify_quote(quote):
+        raise AttestationError("quote signature invalid")
+    if not hmac.compare_digest(quote.measurement, expected_measurement):
+        raise AttestationError("enclave measurement mismatch")
+    return client_dh.shared_key(quote.dh_public)

@@ -1,0 +1,199 @@
+"""Cycle-level cost model for enclave memory behaviour.
+
+Pure-Python wall time reproduces the *asymptotic* behaviour of the
+paper's algorithms (the O(nkd) vs O((nk+d)log^2) separation of
+Figure 10), but the cache- and paging-driven effects of Figures 11-12
+are properties of the SGX memory hierarchy, not of the interpreter.
+This module reproduces that hierarchy explicitly, matching the paper's
+evaluation machine (Section 5.5):
+
+* 1 MB L2 and 8 MB L3 set-associative LRU caches;
+* a 96 MB EPC; pages touched beyond it incur the SGX paging penalty
+  (re-encryption plus integrity-tree verification, tens of
+  microseconds -- orders of magnitude above a DRAM access);
+* inside-EPC misses still pay the memory-encryption-engine surcharge.
+
+Algorithms feed their (data-independent) cacheline address streams to
+:class:`CostModel`, which returns total simulated cycles.  Because every
+oblivious algorithm's stream is a pure function of the input *shape*,
+the streams are generated structurally (see :mod:`repro.core.streams`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Machine parameters; defaults mirror the paper's Xeon E-2174G."""
+
+    line_bytes: int = 64
+    l2_bytes: int = 1 * 1024 * 1024
+    l2_assoc: int = 16
+    l3_bytes: int = 8 * 1024 * 1024
+    l3_assoc: int = 16
+    page_bytes: int = 4096
+    epc_bytes: int = 96 * 1024 * 1024
+    cycles_l1_hit: int = 4
+    cycles_l2_hit: int = 14
+    cycles_l3_hit: int = 44
+    cycles_dram: int = 250          # DRAM + MEE decrypt/integrity check
+    cycles_epc_page_fault: int = 140_000  # EWB/ELDU paging round trip
+    cycles_per_element_op: int = 6  # ALU work per touched element
+
+
+class SetAssociativeCache:
+    """Set-associative LRU cache over cacheline addresses."""
+
+    def __init__(self, capacity_bytes: int, assoc: int, line_bytes: int) -> None:
+        if capacity_bytes % (assoc * line_bytes):
+            raise ValueError("capacity must be a multiple of assoc * line size")
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.n_sets = capacity_bytes // (assoc * line_bytes)
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        """Touch one cacheline; returns True on hit."""
+        ways = self._sets[line % self.n_sets]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.assoc:
+            ways.pop(0)
+        ways.append(line)
+        return False
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+
+class EpcPager:
+    """Page-granular EPC residency with LRU eviction.
+
+    When the touched working set exceeds the EPC, every fault pays the
+    SGX paging penalty (page re-encryption + integrity verification).
+    """
+
+    def __init__(self, epc_bytes: int, page_bytes: int) -> None:
+        self.page_bytes = page_bytes
+        self.capacity_pages = max(epc_bytes // page_bytes, 1)
+        self._resident: dict[int, None] = {}
+        self.faults = 0
+        self.hits = 0
+
+    def access(self, page: int) -> str:
+        """Touch one page; returns ``"hit"``, ``"cold"``, or ``"evict"``.
+
+        Only faults that displace a resident page model the expensive
+        SGX EWB/ELDU paging round trip; cold first-touch misses are
+        ordinary (MEE-priced) DRAM traffic.
+        """
+        if page in self._resident:
+            # Move to MRU position.
+            del self._resident[page]
+            self._resident[page] = None
+            self.hits += 1
+            return "hit"
+        if len(self._resident) >= self.capacity_pages:
+            oldest = next(iter(self._resident))
+            del self._resident[oldest]
+            self._resident[page] = None
+            self.faults += 1
+            return "evict"
+        self._resident[page] = None
+        return "cold"
+
+    def reset(self) -> None:
+        self._resident.clear()
+        self.faults = 0
+        self.hits = 0
+
+
+@dataclass
+class CostReport:
+    """Aggregate outcome of charging an address stream."""
+
+    accesses: int = 0
+    cycles: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    dram_accesses: int = 0
+    page_faults: int = 0
+
+    @property
+    def seconds(self) -> float:
+        """Simulated seconds at the paper machine's 3.8 GHz."""
+        return self.cycles / 3.8e9
+
+    def merge(self, other: "CostReport") -> "CostReport":
+        return CostReport(
+            accesses=self.accesses + other.accesses,
+            cycles=self.cycles + other.cycles,
+            l2_hits=self.l2_hits + other.l2_hits,
+            l3_hits=self.l3_hits + other.l3_hits,
+            dram_accesses=self.dram_accesses + other.dram_accesses,
+            page_faults=self.page_faults + other.page_faults,
+        )
+
+
+class CostModel:
+    """Charges an address stream through L2 -> L3 -> DRAM/EPC paging."""
+
+    def __init__(self, params: CostParameters | None = None) -> None:
+        self.params = params or CostParameters()
+        p = self.params
+        self.l2 = SetAssociativeCache(p.l2_bytes, p.l2_assoc, p.line_bytes)
+        self.l3 = SetAssociativeCache(p.l3_bytes, p.l3_assoc, p.line_bytes)
+        self.pager = EpcPager(p.epc_bytes, p.page_bytes)
+
+    def reset(self) -> None:
+        self.l2.reset()
+        self.l3.reset()
+        self.pager.reset()
+
+    def charge_lines(self, lines: Iterable[int]) -> CostReport:
+        """Charge a stream of cacheline indices; returns the report."""
+        p = self.params
+        lines_per_page = p.page_bytes // p.line_bytes
+        report = CostReport()
+        cycles = 0
+        n = 0
+        l2 = self.l2
+        l3 = self.l3
+        pager = self.pager
+        for line in lines:
+            n += 1
+            cycles += p.cycles_per_element_op
+            if l2.access(line):
+                cycles += p.cycles_l2_hit
+                report.l2_hits += 1
+                continue
+            if l3.access(line):
+                cycles += p.cycles_l3_hit
+                report.l3_hits += 1
+                continue
+            report.dram_accesses += 1
+            outcome = pager.access(line // lines_per_page)
+            if outcome == "evict":
+                report.page_faults += 1
+                cycles += p.cycles_epc_page_fault
+            else:
+                cycles += p.cycles_dram
+        report.accesses = n
+        report.cycles = cycles
+        return report
+
+    def charge_addresses(self, byte_addresses: Iterable[int]) -> CostReport:
+        """Charge byte addresses (coarsened to cachelines)."""
+        line_bytes = self.params.line_bytes
+        return self.charge_lines(a // line_bytes for a in byte_addresses)

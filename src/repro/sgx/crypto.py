@@ -1,0 +1,170 @@
+"""Authenticated encryption and key derivation for the simulated enclave.
+
+The real OLIVE system encrypts gradients with AES-GCM under per-client
+keys negotiated during remote attestation.  No AES implementation is
+available offline, so this module provides an encrypt-then-MAC scheme
+built from the standard library:
+
+* keystream: SHA-256 in counter mode (``SHA256(key || nonce || counter)``)
+  XORed over the plaintext;
+* tag: HMAC-SHA-256 over ``nonce || ciphertext`` with an independent
+  subkey.
+
+This preserves every property Algorithm 1 relies on: confidentiality of
+gradients in transit, integrity (forged or corrupted ciphertexts are
+rejected), and *authenticated-encryption-mode client verification* --
+the enclave checks a loaded ciphertext decrypts under the sampled
+client's key, so a malicious server cannot inject contributions from
+clients outside the securely sampled set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+from dataclasses import dataclass
+
+KEY_BYTES = 32
+NONCE_BYTES = 16
+TAG_BYTES = 32
+
+
+class AuthenticationError(Exception):
+    """Raised when a ciphertext fails tag verification."""
+
+
+def generate_key(rng_bytes: bytes | None = None) -> bytes:
+    """Fresh 256-bit key (deterministic when seed bytes are supplied)."""
+    if rng_bytes is not None:
+        return hashlib.sha256(b"key-gen" + rng_bytes).digest()
+    return os.urandom(KEY_BYTES)
+
+
+def derive_key(master: bytes, label: str) -> bytes:
+    """HKDF-like labelled subkey derivation."""
+    return hmac.new(master, b"derive:" + label.encode(), hashlib.sha256).digest()
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    for counter in range((length + 31) // 32):
+        blocks.append(
+            hashlib.sha256(key + nonce + struct.pack(">Q", counter)).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """AE ciphertext: nonce, body, and integrity tag."""
+
+    nonce: bytes
+    body: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        """Wire form: nonce || tag || body."""
+        return self.nonce + self.tag + self.body
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Ciphertext":
+        """Parse the wire form produced by :meth:`to_bytes`."""
+        if len(raw) < NONCE_BYTES + TAG_BYTES:
+            raise ValueError("ciphertext too short")
+        return cls(
+            nonce=raw[:NONCE_BYTES],
+            tag=raw[NONCE_BYTES : NONCE_BYTES + TAG_BYTES],
+            body=raw[NONCE_BYTES + TAG_BYTES :],
+        )
+
+
+def seal(key: bytes, plaintext: bytes, nonce: bytes | None = None) -> Ciphertext:
+    """Encrypt-then-MAC ``plaintext`` under ``key``."""
+    if len(key) != KEY_BYTES:
+        raise ValueError("key must be 32 bytes")
+    if nonce is None:
+        nonce = os.urandom(NONCE_BYTES)
+    if len(nonce) != NONCE_BYTES:
+        raise ValueError("nonce must be 16 bytes")
+    enc_key = derive_key(key, "enc")
+    mac_key = derive_key(key, "mac")
+    stream = _keystream(enc_key, nonce, len(plaintext))
+    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac.new(mac_key, nonce + body, hashlib.sha256).digest()
+    return Ciphertext(nonce=nonce, body=body, tag=tag)
+
+
+def open_sealed(key: bytes, ct: Ciphertext) -> bytes:
+    """Verify and decrypt; raises :class:`AuthenticationError` on forgery."""
+    if len(key) != KEY_BYTES:
+        raise ValueError("key must be 32 bytes")
+    enc_key = derive_key(key, "enc")
+    mac_key = derive_key(key, "mac")
+    expected = hmac.new(mac_key, ct.nonce + ct.body, hashlib.sha256).digest()
+    if not hmac.compare_digest(expected, ct.tag):
+        raise AuthenticationError("tag verification failed")
+    stream = _keystream(enc_key, ct.nonce, len(ct.body))
+    return bytes(c ^ s for c, s in zip(ct.body, stream))
+
+
+def encode_sparse_gradient(indices, values) -> bytes:
+    """Wire format for a sparse gradient: ``k`` records of (u32, f64)."""
+    if len(indices) != len(values):
+        raise ValueError("indices and values must have equal length")
+    out = [struct.pack(">I", len(indices))]
+    for idx, val in zip(indices, values):
+        out.append(struct.pack(">Id", int(idx), float(val)))
+    return b"".join(out)
+
+
+def decode_sparse_gradient(raw: bytes) -> tuple[list[int], list[float]]:
+    """Inverse of :func:`encode_sparse_gradient`."""
+    if len(raw) < 4:
+        raise ValueError("truncated gradient payload")
+    (k,) = struct.unpack(">I", raw[:4])
+    expected = 4 + k * 12
+    if len(raw) != expected:
+        raise ValueError("gradient payload length mismatch")
+    indices: list[int] = []
+    values: list[float] = []
+    for i in range(k):
+        idx, val = struct.unpack(">Id", raw[4 + i * 12 : 16 + i * 12])
+        indices.append(idx)
+        values.append(val)
+    return indices, values
+
+
+def encode_quantized_gradient(indices, levels, scale: float) -> bytes:
+    """Compact wire format for a quantized sparse gradient.
+
+    ``k`` records of (u32 index, i16 level) after an 8-byte scale --
+    the bandwidth-saving upload format sparsification+quantization
+    exists for (Section 6's 1-3 orders of magnitude).
+    """
+    if len(indices) != len(levels):
+        raise ValueError("indices and levels must have equal length")
+    out = [struct.pack(">Id", len(indices), float(scale))]
+    for idx, level in zip(indices, levels):
+        if not -32768 <= int(level) <= 32767:
+            raise ValueError("quantization level exceeds 16-bit range")
+        out.append(struct.pack(">Ih", int(idx), int(level)))
+    return b"".join(out)
+
+
+def decode_quantized_gradient(raw: bytes) -> tuple[list[int], list[int], float]:
+    """Inverse of :func:`encode_quantized_gradient`."""
+    if len(raw) < 12:
+        raise ValueError("truncated quantized payload")
+    k, scale = struct.unpack(">Id", raw[:12])
+    expected = 12 + k * 6
+    if len(raw) != expected:
+        raise ValueError("quantized payload length mismatch")
+    indices: list[int] = []
+    levels: list[int] = []
+    for i in range(k):
+        idx, level = struct.unpack(">Ih", raw[12 + i * 6 : 18 + i * 6])
+        indices.append(idx)
+        levels.append(level)
+    return indices, levels, scale

@@ -1,0 +1,235 @@
+"""Enclave runtime: the trust boundary of the simulated TEE.
+
+Models the pieces of Intel SGX that OLIVE's protocol depends on:
+
+* a *measurement*-identified isolated runtime (see
+  :mod:`repro.sgx.attestation`);
+* a sealed per-client :class:`KeyStore` populated during provisioning
+  (Algorithm 1, line 1);
+* *secure client sampling* performed inside the enclave with an
+  enclave-private RNG (line 4), so the untrusted server can neither bias
+  nor predict the sampled set;
+* AE-mode verification of loaded gradients against the sampled set
+  (lines 7-11): contributions from unsampled clients or ciphertexts
+  that fail authentication are rejected;
+* an EPC budget: allocations beyond ``epc_bytes`` are still permitted
+  (Linux SGX pages transparently) but are flagged so the cost model can
+  charge paging penalties.
+
+Memory allocated through :meth:`Enclave.alloc` is traced: the adversary
+observes its access pattern through :class:`repro.sgx.observer.SideChannelObserver`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from . import crypto
+from .attestation import AttestationService, DiffieHellman, Quote, measure
+from .memory import RegionLayout, Trace, TracedArray
+
+DEFAULT_EPC_BYTES = 96 * 1024 * 1024
+
+
+class EnclaveSecurityError(Exception):
+    """A protocol violation detected inside the enclave (abort round)."""
+
+
+@dataclass
+class KeyStore:
+    """Sealed key-value store mapping client id -> RA shared key."""
+
+    _keys: dict[int, bytes] = field(default_factory=dict)
+
+    def put(self, client_id: int, key: bytes) -> None:
+        """Seal one client's RA key."""
+        self._keys[client_id] = key
+
+    def get(self, client_id: int) -> bytes:
+        """Retrieve one client's RA key; unknown clients raise."""
+        if client_id not in self._keys:
+            raise EnclaveSecurityError(f"no RA key for client {client_id}")
+        return self._keys[client_id]
+
+    def __contains__(self, client_id: int) -> bool:
+        return client_id in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class Enclave:
+    """A provisioned enclave instance.
+
+    Parameters
+    ----------
+    code_identity:
+        Bytes identifying the enclave binary; hashed into the
+        measurement that clients verify during RA.
+    attestation_service:
+        The trusted quoting service shared with clients.
+    epc_bytes:
+        Usable EPC size; allocations beyond it mark the enclave as
+        oversubscribed (paging cost applies in the cost model).
+    seed:
+        Seed for the enclave-private RNG (secure sampling); ``None``
+        draws from OS entropy.
+    """
+
+    def __init__(
+        self,
+        code_identity: bytes = b"olive-aggregator-v1",
+        attestation_service: AttestationService | None = None,
+        epc_bytes: int = DEFAULT_EPC_BYTES,
+        seed: int | None = None,
+    ) -> None:
+        self.code_identity = code_identity
+        self.measurement = measure(code_identity)
+        self.attestation_service = attestation_service or AttestationService()
+        self.epc_bytes = epc_bytes
+        self.keystore = KeyStore()
+        self.trace = Trace()
+        self.layout = RegionLayout()
+        self._rng = random.Random(seed)
+        self._dh = DiffieHellman(
+            secret=self._rng.getrandbits(256) if seed is not None else None
+        )
+        self._allocated_bytes = 0
+        self._region_counter = 0
+        self._sampled: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Attestation / provisioning
+    # ------------------------------------------------------------------
+    def quote(self) -> Quote:
+        """Produce a signed quote carrying the enclave's DH share."""
+        return self.attestation_service.sign_quote(self.measurement, self._dh.public)
+
+    def complete_ra(self, client_id: int, client_dh_public: int) -> None:
+        """Finish RA with one client and seal the shared key."""
+        key = self._dh.shared_key(client_dh_public)
+        self.keystore.put(client_id, key)
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    def alloc(self, length: int, itemsize: int = 8, name: str | None = None) -> TracedArray:
+        """Allocate a traced region inside the enclave."""
+        if name is None:
+            name = f"region{self._region_counter}"
+        self._region_counter += 1
+        self.layout.add(name, max(length, 1), itemsize)
+        self._allocated_bytes += length * itemsize
+        return TracedArray.zeros(name, length, trace=self.trace, itemsize=itemsize)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently allocated inside the enclave."""
+        return self._allocated_bytes
+
+    @property
+    def oversubscribed(self) -> bool:
+        """True when allocations exceed the EPC (paging territory)."""
+        return self._allocated_bytes > self.epc_bytes
+
+    def reset_trace(self) -> None:
+        """Start a fresh observation window (new round)."""
+        self.trace = Trace()
+        self.layout = RegionLayout()
+        self._allocated_bytes = 0
+        self._region_counter = 0
+
+    # ------------------------------------------------------------------
+    # Secure sampling and client verification (Algorithm 1, lines 4-11)
+    # ------------------------------------------------------------------
+    def sample_clients(self, population: Sequence[int], rate: float) -> list[int]:
+        """Poisson-sample the round's participants inside the enclave."""
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("sampling rate must be in (0, 1]")
+        sampled = [cid for cid in population if self._rng.random() < rate]
+        if not sampled:
+            # Guarantee progress on tiny populations: resample one client.
+            sampled = [population[self._rng.randrange(len(population))]]
+        self._sampled = set(sampled)
+        return sampled
+
+    @property
+    def sampled_clients(self) -> set[int]:
+        """This round's securely sampled participant set."""
+        return set(self._sampled)
+
+    def load_gradient(
+        self, client_id: int, ciphertext: crypto.Ciphertext
+    ) -> tuple[list[int], list[float]]:
+        """Decrypt and verify one client contribution.
+
+        Rejects clients outside the sampled set and ciphertexts that
+        fail AE verification, raising :class:`EnclaveSecurityError` --
+        the injection defence of Algorithm 1 line 8.
+        """
+        if client_id not in self._sampled:
+            raise EnclaveSecurityError(
+                f"client {client_id} was not securely sampled this round"
+            )
+        key = self.keystore.get(client_id)
+        try:
+            payload = crypto.open_sealed(key, ciphertext)
+        except crypto.AuthenticationError as exc:
+            raise EnclaveSecurityError(
+                f"client {client_id}: gradient failed authentication"
+            ) from exc
+        return crypto.decode_sparse_gradient(payload)
+
+    def load_quantized_gradient(
+        self, client_id: int, ciphertext: crypto.Ciphertext
+    ) -> tuple[list[int], list[float]]:
+        """Decrypt, verify, and dequantize a compact client upload."""
+        if client_id not in self._sampled:
+            raise EnclaveSecurityError(
+                f"client {client_id} was not securely sampled this round"
+            )
+        key = self.keystore.get(client_id)
+        try:
+            payload = crypto.open_sealed(key, ciphertext)
+        except crypto.AuthenticationError as exc:
+            raise EnclaveSecurityError(
+                f"client {client_id}: gradient failed authentication"
+            ) from exc
+        indices, levels, scale = crypto.decode_quantized_gradient(payload)
+        return indices, [level * scale for level in levels]
+
+    # ------------------------------------------------------------------
+    # Enclave-private randomness (DP noise must be drawn inside)
+    # ------------------------------------------------------------------
+    def gauss(self, sigma: float) -> float:
+        """One sample of enclave-private Gaussian noise."""
+        return self._rng.gauss(0.0, sigma)
+
+    def gauss_vector(self, sigma: float, length: int) -> list[float]:
+        """A vector of enclave-private Gaussian noise."""
+        return [self._rng.gauss(0.0, sigma) for _ in range(length)]
+
+
+def provision_enclave_with_clients(
+    enclave: Enclave, client_ids: Iterable[int]
+) -> dict[int, bytes]:
+    """Run RA for every client; returns client-side session keys.
+
+    Convenience used by tests and examples: each client verifies the
+    enclave quote against the expected measurement and both sides derive
+    the same shared key.
+    """
+    from .attestation import client_attest
+
+    quote = enclave.quote()
+    keys: dict[int, bytes] = {}
+    for cid in client_ids:
+        dh = DiffieHellman()
+        key = client_attest(
+            enclave.attestation_service, quote, enclave.measurement, dh
+        )
+        enclave.complete_ra(cid, dh.public)
+        keys[cid] = key
+    return keys

@@ -1,0 +1,220 @@
+"""Traced memory: the foundation of the TEE access-pattern model.
+
+The paper's threat model (Section 3.1) gives the untrusted server the
+ability to observe the sequence of memory addresses an enclave touches,
+either at word granularity (strongest adversary) or at cacheline
+granularity (64 bytes, what published SGX attacks achieve).  This module
+provides the simulated memory substrate on which every aggregation
+algorithm in :mod:`repro.core` runs:
+
+* :class:`MemoryAccess` -- one observed access ``(region, offset, op)``,
+  matching the paper's triple ``a = (A[i], op, val)`` with ``val``
+  withheld from the adversary (data is encrypted inside the enclave; the
+  side channel leaks *addresses*, not plaintext).
+* :class:`Trace` -- an append-only recording of accesses with projection
+  helpers (restrict to one region, coarsen to cachelines).
+* :class:`TracedArray` -- a fixed-length array whose ``read``/``write``
+  record into a :class:`Trace`.
+
+Tracing can be disabled (``trace=None``) so that the same algorithm
+implementations also serve as fast functional references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+CACHELINE_BYTES = 64
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A single observed memory access.
+
+    Mirrors the paper's formal model ``a = (A[i], op, val)`` from
+    Section 3.3, except ``val`` is never exposed: the adversary sees
+    addresses and operation types only.
+    """
+
+    region: str
+    offset: int
+    op: str
+
+    def cacheline(self, itemsize: int, line_bytes: int = CACHELINE_BYTES) -> int:
+        """Cacheline index of this access for ``itemsize``-byte elements."""
+        return (self.offset * itemsize) // line_bytes
+
+
+class Trace:
+    """Ordered sequence of :class:`MemoryAccess` records.
+
+    Two traces compare equal iff they contain the identical ordered
+    access sequence, which is exactly the paper's notion of a
+    0-statistically-oblivious algorithm when it holds for all same-shape
+    inputs (Definition 2.2 with delta = 0).
+    """
+
+    def __init__(self) -> None:
+        self.accesses: list[MemoryAccess] = []
+
+    def record(self, region: str, offset: int, op: str) -> None:
+        """Append one access to the trace."""
+        self.accesses.append(MemoryAccess(region, offset, op))
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.accesses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.accesses == other.accesses
+
+    def project(self, region: str) -> list[MemoryAccess]:
+        """Accesses restricted to one named region, order preserved."""
+        return [a for a in self.accesses if a.region == region]
+
+    def offsets(self, region: str, op: str | None = None) -> list[int]:
+        """Offsets touched in ``region`` (optionally one op), in order."""
+        return [
+            a.offset
+            for a in self.accesses
+            if a.region == region and (op is None or a.op == op)
+        ]
+
+    def cachelines(
+        self,
+        region: str,
+        itemsize: int,
+        line_bytes: int = CACHELINE_BYTES,
+        op: str | None = None,
+    ) -> list[int]:
+        """Cacheline indices touched in ``region``, in access order."""
+        return [
+            a.cacheline(itemsize, line_bytes)
+            for a in self.accesses
+            if a.region == region and (op is None or a.op == op)
+        ]
+
+    def signature(self) -> tuple[tuple[str, int, str], ...]:
+        """Hashable representation of the full trace."""
+        return tuple((a.region, a.offset, a.op) for a in self.accesses)
+
+
+class TracedArray:
+    """Fixed-length array whose element accesses are recorded.
+
+    Elements may be any Python value (floats, ``(index, value)`` tuples,
+    ORAM blocks).  ``itemsize`` is the modelled byte width of one element
+    and controls cacheline coarsening; the paper uses 8-byte weights
+    (u32 index + f32 value).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data: Iterable[Any],
+        trace: Trace | None = None,
+        itemsize: int = 8,
+    ) -> None:
+        self.name = name
+        self._data = list(data)
+        self.trace = trace
+        self.itemsize = itemsize
+
+    @classmethod
+    def zeros(
+        cls,
+        name: str,
+        length: int,
+        trace: Trace | None = None,
+        itemsize: int = 8,
+    ) -> "TracedArray":
+        """Zero-initialized traced array."""
+        return cls(name, [0.0] * length, trace=trace, itemsize=itemsize)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def read(self, offset: int) -> Any:
+        """Traced element read."""
+        if not 0 <= offset < len(self._data):
+            raise IndexError(f"{self.name}[{offset}] out of bounds")
+        if self.trace is not None:
+            self.trace.record(self.name, offset, READ)
+        return self._data[offset]
+
+    def write(self, offset: int, value: Any) -> None:
+        """Traced element write."""
+        if not 0 <= offset < len(self._data):
+            raise IndexError(f"{self.name}[{offset}] out of bounds")
+        if self.trace is not None:
+            self.trace.record(self.name, offset, WRITE)
+        self._data[offset] = value
+
+    def snapshot(self) -> list[Any]:
+        """Copy of the contents without generating trace records.
+
+        Models the enclave reading its own private state when the result
+        is about to leave through the (traced) output path anyway; used
+        by tests and result extraction, never inside oblivious kernels.
+        """
+        return list(self._data)
+
+    def load(self, values: Sequence[Any]) -> None:
+        """Bulk-set contents without trace records (test setup helper)."""
+        if len(values) != len(self._data):
+            raise ValueError("length mismatch in TracedArray.load")
+        self._data = list(values)
+
+
+@dataclass
+class RegionLayout:
+    """Assigns simulated base byte addresses to named regions.
+
+    The cost model (:mod:`repro.sgx.cost`) needs globally distinct
+    physical addresses so that distinct regions occupy distinct
+    cachelines.  Regions are laid out back to back, each aligned up to a
+    cacheline boundary.
+    """
+
+    line_bytes: int = CACHELINE_BYTES
+    _regions: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+    _next_base: int = 0
+
+    def add(self, name: str, length: int, itemsize: int) -> int:
+        """Register a region and return its base byte address."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already laid out")
+        base = self._next_base
+        size = length * itemsize
+        self._regions[name] = (base, size, itemsize)
+        aligned = (size + self.line_bytes - 1) // self.line_bytes * self.line_bytes
+        self._next_base = base + aligned
+        return base
+
+    def base(self, name: str) -> int:
+        """Base byte address of a region."""
+        return self._regions[name][0]
+
+    def itemsize(self, name: str) -> int:
+        """Element byte width of a region."""
+        return self._regions[name][2]
+
+    def byte_address(self, name: str, offset: int) -> int:
+        """Simulated physical byte address of one element."""
+        base, size, itemsize = self._regions[name]
+        addr = base + offset * itemsize
+        if not base <= addr < base + size:
+            raise IndexError(f"address outside region {name!r}")
+        return addr
+
+    def total_bytes(self) -> int:
+        """Total laid-out bytes including alignment padding."""
+        return self._next_base

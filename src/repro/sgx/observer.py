@@ -1,0 +1,76 @@
+"""Side-channel adversary view of an enclave trace.
+
+The semi-honest server of Section 3.1 cannot read enclave data, but it
+observes which addresses the enclave touches.  This module projects a
+recorded :class:`repro.sgx.memory.Trace` into what such an adversary
+learns, at the two granularities the paper evaluates:
+
+* ``granularity="word"`` -- every element offset (the strongest,
+  page-probe-plus-probe-everything adversary used in Figures 4-7);
+* ``granularity="cacheline"`` -- 64-byte lines, what cache attacks on
+  SGX realistically achieve (Figure 8).
+
+The central quantity for the attack of Section 4 is, per client, the
+set of offsets of the *aggregation buffer* ``g*`` touched while that
+client's gradient was being folded in; for the non-oblivious Linear
+algorithm that set equals the client's top-k index set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .memory import Trace
+
+WORD = "word"
+CACHELINE = "cacheline"
+
+
+@dataclass(frozen=True)
+class ObserverConfig:
+    """What the adversary can resolve."""
+
+    granularity: str = WORD
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.granularity not in (WORD, CACHELINE):
+            raise ValueError(f"unknown granularity {self.granularity!r}")
+
+
+class SideChannelObserver:
+    """Adversary that watches accesses to one named region."""
+
+    def __init__(self, region: str, config: ObserverConfig | None = None,
+                 itemsize: int = 8) -> None:
+        self.region = region
+        self.config = config or ObserverConfig()
+        self.itemsize = itemsize
+
+    def _coarsen(self, offset: int) -> int:
+        if self.config.granularity == WORD:
+            return offset
+        return (offset * self.itemsize) // self.config.line_bytes
+
+    def observed_sequence(self, trace: Trace) -> list[int]:
+        """Ordered (possibly repeating) observed offsets/lines."""
+        return [self._coarsen(o) for o in trace.offsets(self.region)]
+
+    def observed_set(self, trace: Trace) -> frozenset[int]:
+        """Distinct observed offsets/lines -- the attack's raw feature."""
+        return frozenset(self.observed_sequence(trace))
+
+    def observed_write_set(self, trace: Trace) -> frozenset[int]:
+        """Distinct observed *written* offsets/lines."""
+        return frozenset(
+            self._coarsen(o) for o in trace.offsets(self.region, op="write")
+        )
+
+    def indices_to_observation(self, indices) -> frozenset[int]:
+        """Coarsen a ground-truth index set the way this observer would.
+
+        Used by the attack pipeline to build *teacher* observations that
+        live in the same feature space as leaked ones (Algorithm 2,
+        lines 9-12).
+        """
+        return frozenset(self._coarsen(int(i)) for i in indices)

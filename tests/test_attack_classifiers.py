@@ -1,0 +1,167 @@
+"""Tests for the attack scoring methods (repro.attack.classifiers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attack.classifiers import (
+    JacAttack,
+    NnAttack,
+    NnSingleAttack,
+    decide_labels,
+    jaccard,
+    kmeans_1d_top_cluster,
+    multi_hot,
+)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard(frozenset({1, 2}), frozenset({1, 2})) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard(frozenset({1}), frozenset({2})) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard(frozenset({1, 2}), frozenset({2, 3})) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard(frozenset({1}), frozenset()) == 0.0
+
+    @given(st.frozensets(st.integers(0, 20)), st.frozensets(st.integers(0, 20)))
+    def test_symmetric_and_bounded(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+
+class TestMultiHot:
+    def test_sets_positions(self):
+        x = multi_hot(frozenset({0, 3}), 5)
+        assert x.tolist() == [1.0, 0.0, 0.0, 1.0, 0.0]
+
+    def test_empty_set(self):
+        assert multi_hot(frozenset(), 4).tolist() == [0.0] * 4
+
+    def test_out_of_range_ignored(self):
+        x = multi_hot(frozenset({2, 99}), 4)
+        assert x.tolist() == [0.0, 0.0, 1.0, 0.0]
+
+
+class TestKMeans:
+    def test_clear_separation(self):
+        scores = np.asarray([0.1, 0.9, 0.12, 0.95, 0.11])
+        top = kmeans_1d_top_cluster(scores)
+        assert set(top.tolist()) == {1, 3}
+
+    def test_constant_scores_return_single_argmax(self):
+        top = kmeans_1d_top_cluster(np.asarray([0.5, 0.5, 0.5]))
+        assert len(top) == 1
+
+    def test_empty_scores(self):
+        assert len(kmeans_1d_top_cluster(np.empty(0))) == 0
+
+    def test_single_score(self):
+        assert kmeans_1d_top_cluster(np.asarray([0.7])).tolist() == [0]
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_always_returns_valid_indices(self, scores):
+        top = kmeans_1d_top_cluster(np.asarray(scores))
+        assert len(top) >= 1
+        assert all(0 <= i < len(scores) for i in top)
+
+    def test_argmax_always_in_top_cluster(self):
+        scores = np.asarray([0.2, 0.8, 0.3, 0.81, 0.4])
+        top = kmeans_1d_top_cluster(scores)
+        assert int(np.argmax(scores)) in top.tolist()
+
+
+class TestDecideLabels:
+    def test_known_count_takes_top_scores(self):
+        scores = np.asarray([0.1, 0.9, 0.3, 0.8])
+        assert decide_labels(scores, known_count=2).tolist() == [1, 3]
+
+    def test_known_count_out_of_range(self):
+        with pytest.raises(ValueError):
+            decide_labels(np.asarray([0.5]), known_count=2)
+        with pytest.raises(ValueError):
+            decide_labels(np.asarray([0.5]), known_count=0)
+
+    def test_unknown_count_uses_kmeans(self):
+        scores = np.asarray([0.05, 0.9, 0.04, 0.95])
+        assert decide_labels(scores).tolist() == [1, 3]
+
+    def test_result_sorted(self):
+        scores = np.asarray([0.9, 0.1, 0.8])
+        out = decide_labels(scores, known_count=2)
+        assert out.tolist() == sorted(out.tolist())
+
+
+def _synthetic_teacher(n_labels=4, dim=40, rounds=(0, 1), samples=3):
+    """Each label 'owns' a block of indices, with mild noise."""
+    rng = np.random.default_rng(0)
+    teacher = {}
+    for rnd in rounds:
+        per_label = {}
+        for label in range(n_labels):
+            base = set(range(label * 10, label * 10 + 6))
+            samples_list = []
+            for _ in range(samples):
+                jitter = set(rng.choice(dim, size=2).tolist())
+                samples_list.append(frozenset(base | jitter))
+            per_label[label] = samples_list
+        teacher[rnd] = per_label
+    return teacher
+
+
+class TestJacAttackScoring:
+    def test_correct_label_scores_highest(self):
+        teacher = _synthetic_teacher()
+        observed = {0: frozenset(range(10, 16)), 1: frozenset(range(10, 16))}
+        scores = JacAttack().score(observed, teacher, 4)
+        assert int(np.argmax(scores)) == 1
+
+    def test_empty_observation_gives_flat_low_scores(self):
+        teacher = _synthetic_teacher()
+        scores = JacAttack().score({0: frozenset()}, teacher, 4)
+        assert scores.max() == 0.0
+
+
+class TestNnAttackScoring:
+    def test_learns_block_structure(self):
+        teacher = _synthetic_teacher(samples=6)
+        attack = NnAttack(hidden=32, epochs=60, lr=0.5, seed=0)
+        models = attack.fit_round_models(teacher, feature_dim=40, n_labels=4)
+        observed = {0: frozenset(range(20, 26)), 1: frozenset(range(20, 26))}
+        scores = attack.score(observed, models, 40, 4)
+        assert int(np.argmax(scores)) == 2
+
+    def test_no_participated_rounds_gives_zero_scores(self):
+        teacher = _synthetic_teacher()
+        attack = NnAttack(hidden=8, epochs=1, seed=0)
+        models = attack.fit_round_models(teacher, 40, 4)
+        scores = attack.score({99: frozenset({1})}, {0: models[0]}, 40, 4)
+        assert np.allclose(scores, 0.0)
+
+
+class TestNnSingleAttackScoring:
+    def test_learns_block_structure(self):
+        teacher = _synthetic_teacher(samples=6)
+        attack = NnSingleAttack(hidden=32, epochs=60, lr=0.5, seed=0)
+        model, rounds = attack.fit(teacher, feature_dim=40, n_labels=4)
+        assert rounds == [0, 1]
+        observed = {0: frozenset(range(6)), 1: frozenset(range(6))}
+        scores = attack.score(observed, model, rounds, 40)
+        assert int(np.argmax(scores)) == 0
+
+    def test_missing_round_zeroized(self):
+        teacher = _synthetic_teacher(samples=4)
+        attack = NnSingleAttack(hidden=16, epochs=30, lr=0.5, seed=0)
+        model, rounds = attack.fit(teacher, 40, 4)
+        # Client only participated in round 0.
+        scores = attack.score({0: frozenset(range(30, 36))}, model, rounds, 40)
+        assert scores.shape == (4,)
+        assert int(np.argmax(scores)) == 3

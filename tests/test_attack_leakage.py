@@ -1,0 +1,77 @@
+"""Focused tests for the leakage-extraction layer (repro.attack.leakage)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.leakage import (
+    RoundObservation,
+    coarsen_indices,
+    feature_dim,
+    observe_round,
+)
+from repro.core.olive import OliveConfig, OliveSystem
+from repro.fl.client import TrainingConfig
+from repro.fl.datasets import SPECS, SyntheticClassData, partition_clients
+from repro.fl.models import build_model
+
+
+def _traced_round(aggregator="linear", n_clients=6, seed=0):
+    gen = SyntheticClassData(SPECS["tiny"], seed=seed)
+    clients = partition_clients(gen, n_clients, 20, 2, seed=seed)
+    system = OliveSystem(
+        build_model("tiny_mlp", seed=0), clients,
+        OliveConfig(sample_rate=1.0, aggregator=aggregator,
+                    training=TrainingConfig(sparse_ratio=0.1)),
+        seed=seed,
+    )
+    return system, system.run_round(traced=True)
+
+
+class TestObserveRound:
+    def test_all_participants_observed(self):
+        system, log = _traced_round()
+        obs = observe_round(log)
+        assert set(obs.observed) == set(log.participants)
+
+    def test_round_index_propagated(self):
+        _, log = _traced_round()
+        assert observe_round(log).round_index == 0
+
+    def test_each_client_attributed_its_own_indices(self):
+        # The boundary attribution must not bleed one client's indices
+        # into the next, even when their index sets overlap.
+        system, log = _traced_round()
+        obs = observe_round(log)
+        for cid in log.participants:
+            assert obs.observed[cid] == frozenset(
+                log.updates[cid].indices.tolist()
+            )
+
+    def test_advanced_observation_is_empty(self):
+        # Advanced never touches a g_star region -- nothing to observe.
+        _, log = _traced_round(aggregator="advanced", n_clients=3)
+        obs = observe_round(log)
+        assert all(s == frozenset() for s in obs.observed.values())
+
+    def test_structure_type(self):
+        _, log = _traced_round()
+        assert isinstance(observe_round(log), RoundObservation)
+
+
+class TestCoarsening:
+    def test_word_identity(self):
+        assert coarsen_indices([1, 20, 300]) == frozenset({1, 20, 300})
+
+    def test_cacheline_groups_of_16(self):
+        assert coarsen_indices([0, 15, 16, 47], "cacheline") == frozenset(
+            {0, 1, 2}
+        )
+
+    def test_numpy_input(self):
+        out = coarsen_indices(np.asarray([31, 32]), "cacheline")
+        assert out == frozenset({1, 2})
+
+    def test_feature_dim_rounding(self):
+        assert feature_dim(16, "cacheline") == 1
+        assert feature_dim(17, "cacheline") == 2
+        assert feature_dim(1, "word") == 1

@@ -1,0 +1,215 @@
+"""End-to-end attack tests (repro.attack.pipeline).
+
+The attack must succeed against the non-oblivious Linear aggregation
+and collapse to chance against the fully oblivious Advanced algorithm
+-- the paper's central security claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack.leakage import (
+    coarsen_indices,
+    feature_dim,
+    observe_round,
+    observe_rounds,
+)
+from repro.attack.pipeline import (
+    AttackConfig,
+    all_accuracy,
+    chance_top1,
+    run_attack,
+    top1_accuracy,
+)
+from repro.core.olive import OliveConfig, OliveSystem
+from repro.fl.client import TrainingConfig
+from repro.fl.datasets import (
+    SPECS,
+    SyntheticClassData,
+    partition_clients,
+    server_test_data_by_label,
+)
+from repro.fl.models import build_model
+
+TRAIN = TrainingConfig(local_epochs=1, local_lr=0.2, batch_size=16,
+                       sparse_ratio=0.1, clip=1.0)
+
+
+@pytest.fixture(scope="module")
+def traced_linear_run():
+    gen = SyntheticClassData(SPECS["tiny"], seed=0)
+    clients = partition_clients(gen, 20, 40, 2, seed=0)
+    model = build_model("tiny_mlp", seed=0)
+    system = OliveSystem(
+        model, clients,
+        OliveConfig(sample_rate=0.6, noise_multiplier=1.12,
+                    aggregator="linear", training=TRAIN),
+        seed=0,
+    )
+    logs = system.run(3, traced=True)
+    test_data = server_test_data_by_label(gen, 30, seed=9)
+    true_labels = {c.client_id: c.label_set for c in clients}
+    return system, model, logs, test_data, true_labels
+
+
+class TestLeakageExtraction:
+    def test_observe_round_matches_ground_truth(self, traced_linear_run):
+        system, _, logs, _, _ = traced_linear_run
+        obs = observe_round(logs[0])
+        for cid, observed in obs.observed.items():
+            truth = frozenset(logs[0].updates[cid].indices.tolist())
+            assert observed == truth
+
+    def test_cacheline_observation_coarsens(self, traced_linear_run):
+        system, _, logs, _, _ = traced_linear_run
+        word = observe_round(logs[0], granularity="word")
+        line = observe_round(logs[0], granularity="cacheline")
+        for cid in word.observed:
+            expected = coarsen_indices(word.observed[cid], "cacheline")
+            assert line.observed[cid] == expected
+            assert max(line.observed[cid]) <= max(word.observed[cid]) // 16 + 1
+
+    def test_untraced_round_rejected(self):
+        gen = SyntheticClassData(SPECS["tiny"], seed=0)
+        clients = partition_clients(gen, 4, 10, 1, seed=0)
+        system = OliveSystem(
+            build_model("tiny_mlp", seed=0), clients,
+            OliveConfig(sample_rate=1.0, aggregator="linear", training=TRAIN),
+        )
+        log = system.run_round(traced=False)
+        with pytest.raises(ValueError):
+            observe_round(log)
+
+    def test_observe_rounds_covers_all(self, traced_linear_run):
+        _, _, logs, _, _ = traced_linear_run
+        obs = observe_rounds(logs)
+        assert [o.round_index for o in obs] == [0, 1, 2]
+
+    def test_feature_dim(self):
+        assert feature_dim(160, "word") == 160
+        assert feature_dim(160, "cacheline") == 10
+        assert feature_dim(161, "cacheline") == 11
+
+
+class TestMetrics:
+    def test_all_accuracy_exact_match_only(self):
+        inferred = {0: np.asarray([1, 2]), 1: np.asarray([3])}
+        truth = {0: frozenset({1, 2}), 1: frozenset({3, 4})}
+        assert all_accuracy(inferred, truth) == 0.5
+
+    def test_top1_accuracy(self):
+        scores = {0: np.asarray([0.1, 0.9]), 1: np.asarray([0.9, 0.1])}
+        truth = {0: frozenset({1}), 1: frozenset({1})}
+        assert top1_accuracy(scores, truth) == 0.5
+
+    def test_empty_metrics(self):
+        assert all_accuracy({}, {}) == 0.0
+        assert top1_accuracy({}, {}) == 0.0
+
+    def test_chance_top1(self):
+        truth = {0: frozenset({1}), 1: frozenset({1, 2, 3, 4})}
+        assert chance_top1(truth, 10) == pytest.approx(0.25)
+        assert chance_top1({}, 10) == 0.0
+
+
+class TestAttackOnLinear:
+    """The attack must work against the vulnerable configuration."""
+
+    def test_jac_beats_chance_decisively(self, traced_linear_run):
+        system, model, logs, test_data, true_labels = traced_linear_run
+        res = run_attack(
+            logs, model, test_data, TRAIN, true_labels, system.d,
+            AttackConfig(method="jac", known_label_count=2),
+        )
+        chance = chance_top1(true_labels, 6)
+        assert res.top1_accuracy > min(0.9, chance * 2)
+        assert res.all_accuracy > 0.5
+
+    def test_nn_beats_chance(self, traced_linear_run):
+        system, model, logs, test_data, true_labels = traced_linear_run
+        res = run_attack(
+            logs, model, test_data, TRAIN, true_labels, system.d,
+            AttackConfig(method="nn", known_label_count=2, nn_epochs=25,
+                         nn_hidden=64),
+        )
+        assert res.top1_accuracy > 0.7
+
+    def test_nn_single_beats_chance(self, traced_linear_run):
+        system, model, logs, test_data, true_labels = traced_linear_run
+        res = run_attack(
+            logs, model, test_data, TRAIN, true_labels, system.d,
+            AttackConfig(method="nn_single", known_label_count=2,
+                         nn_epochs=25, nn_hidden=64),
+        )
+        assert res.top1_accuracy > 0.6
+
+    def test_unknown_label_count_kmeans_decision(self, traced_linear_run):
+        system, model, logs, test_data, true_labels = traced_linear_run
+        res = run_attack(
+            logs, model, test_data, TRAIN, true_labels, system.d,
+            AttackConfig(method="jac", known_label_count=None),
+        )
+        assert res.top1_accuracy > 0.7
+
+    def test_cacheline_attack_still_works(self, traced_linear_run):
+        # Figure 8: 64-byte observation barely degrades the attack on
+        # this small model (16 weights/line out of 378 parameters).
+        system, model, logs, test_data, true_labels = traced_linear_run
+        res = run_attack(
+            logs, model, test_data, TRAIN, true_labels, system.d,
+            AttackConfig(method="jac", granularity="cacheline",
+                         known_label_count=2),
+        )
+        assert res.top1_accuracy > 0.5
+
+    def test_result_structure(self, traced_linear_run):
+        system, model, logs, test_data, true_labels = traced_linear_run
+        res = run_attack(
+            logs, model, test_data, TRAIN, true_labels, system.d,
+            AttackConfig(method="jac", known_label_count=2),
+        )
+        for cid, inferred in res.inferred.items():
+            assert len(inferred) == len(true_labels[cid])
+            assert res.scores[cid].shape == (6,)
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(method="quantum")
+
+
+class TestAttackOnObliviousDefense:
+    """Sections 5.1-5.2: the defense reduces the attack to chance."""
+
+    @pytest.fixture(scope="class")
+    def traced_advanced_run(self):
+        gen = SyntheticClassData(SPECS["tiny"], seed=0)
+        clients = partition_clients(gen, 20, 40, 2, seed=0)
+        model = build_model("tiny_mlp", seed=0)
+        system = OliveSystem(
+            model, clients,
+            OliveConfig(sample_rate=0.6, noise_multiplier=1.12,
+                        aggregator="advanced", training=TRAIN),
+            seed=0,
+        )
+        logs = system.run(2, traced=True)
+        test_data = server_test_data_by_label(gen, 30, seed=9)
+        true_labels = {c.client_id: c.label_set for c in clients}
+        return system, model, logs, test_data, true_labels
+
+    def test_observations_carry_no_signal(self, traced_advanced_run):
+        _, _, logs, _, _ = traced_advanced_run
+        obs = observe_round(logs[0])
+        sets = list(obs.observed.values())
+        # Every client's observation is identical (no g_star region
+        # accesses exist in Advanced, so all sets are empty).
+        assert all(s == sets[0] for s in sets)
+
+    def test_jac_attack_collapses_to_chance(self, traced_advanced_run):
+        system, model, logs, test_data, true_labels = traced_advanced_run
+        res = run_attack(
+            logs, model, test_data, TRAIN, true_labels, system.d,
+            AttackConfig(method="jac", known_label_count=2),
+        )
+        chance = chance_top1(true_labels, 6)
+        assert res.top1_accuracy <= chance + 0.25
+        assert res.all_accuracy <= 0.2

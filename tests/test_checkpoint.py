@@ -1,0 +1,112 @@
+"""Tests for checkpointing and trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    load_checkpoint,
+    load_trace,
+    save_checkpoint,
+    save_trace,
+)
+from repro.core.obliviousness import traces_equal
+from repro.core.olive import OliveConfig, OliveSystem
+from repro.fl.client import TrainingConfig
+from repro.fl.datasets import SPECS, SyntheticClassData, partition_clients
+from repro.fl.models import build_model
+from repro.sgx.memory import Trace
+
+
+def _system(seed=0, **cfg):
+    gen = SyntheticClassData(SPECS["tiny"], seed=0)
+    clients = partition_clients(gen, 8, 20, 2, seed=0)
+    defaults = dict(
+        sample_rate=0.5, noise_multiplier=1.12, aggregator="advanced",
+        training=TrainingConfig(sparse_ratio=0.2),
+    )
+    defaults.update(cfg)
+    return OliveSystem(build_model("tiny_mlp", seed=0), clients,
+                       OliveConfig(**defaults), seed=seed)
+
+
+class TestCheckpoint:
+    def test_roundtrip_weights_and_ledger(self, tmp_path):
+        system = _system()
+        system.run(3)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(system, path)
+
+        restored = _system(seed=9)
+        meta = load_checkpoint(restored, path)
+        assert np.array_equal(restored.global_weights, system.global_weights)
+        assert restored.accountant.steps == 3
+        assert meta["rounds"] == 3
+        # The privacy ledger resumes, not resets.
+        assert restored.accountant.epsilon == pytest.approx(
+            system.accountant.epsilon
+        )
+
+    def test_restored_system_keeps_training(self, tmp_path):
+        system = _system()
+        system.run(2)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(system, path)
+        restored = _system(seed=9)
+        load_checkpoint(restored, path)
+        log = restored.run_round()
+        assert log.epsilon > system.accountant.epsilon
+
+    def test_wrong_architecture_rejected(self, tmp_path):
+        system = _system()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(system, path)
+        gen = SyntheticClassData(SPECS["mnist"], seed=0)
+        clients = partition_clients(gen, 4, 10, 2, seed=0)
+        other = OliveSystem(
+            build_model("mnist_mlp", seed=0), clients, OliveConfig(),
+        )
+        with pytest.raises(ValueError, match="weights"):
+            load_checkpoint(other, path)
+
+    def test_mismatched_dp_params_rejected(self, tmp_path):
+        system = _system()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(system, path)
+        other = _system(noise_multiplier=2.0)
+        with pytest.raises(ValueError, match="noise_multiplier"):
+            load_checkpoint(other, path)
+
+    def test_adaptive_clip_restored(self, tmp_path):
+        system = _system(adaptive_clipping=True)
+        system.run(3)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(system, path)
+        restored = _system(adaptive_clipping=True, seed=9)
+        load_checkpoint(restored, path)
+        assert restored.clipper.clip == pytest.approx(system.clipper.clip)
+
+
+class TestTraceSerialization:
+    def test_roundtrip(self, tmp_path):
+        trace = Trace()
+        trace.record("g", 0, "read")
+        trace.record("g_star", 17, "write")
+        trace.record("g", 3, "read")
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        restored = load_trace(path)
+        assert traces_equal(trace, restored)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(Trace(), path)
+        assert len(load_trace(path)) == 0
+
+    def test_real_round_trace_roundtrip(self, tmp_path):
+        system = _system()
+        log = system.run_round(traced=True)
+        path = tmp_path / "round.npz"
+        save_trace(log.trace, path)
+        restored = load_trace(path)
+        assert traces_equal(log.trace, restored)
+        assert len(restored) == len(log.trace)

@@ -1,0 +1,101 @@
+"""Tests for adaptive clipping (repro.dp.adaptive_clipping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dp.adaptive_clipping import AdaptiveClipper
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AdaptiveClipper(initial_clip=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveClipper(target_quantile=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveClipper(target_quantile=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveClipper(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveClipper(bit_noise=-1.0)
+
+
+class TestControlBehaviour:
+    def test_bit_semantics(self):
+        clipper = AdaptiveClipper(initial_clip=2.0)
+        assert clipper.clip_bit(1.5) == 1
+        assert clipper.clip_bit(2.5) == 0
+
+    def test_all_norms_below_shrinks_clip(self):
+        clipper = AdaptiveClipper(initial_clip=10.0, target_quantile=0.5)
+        before = clipper.clip
+        clipper.step_with_norms([1.0] * 10)
+        assert clipper.clip < before
+
+    def test_all_norms_above_grows_clip(self):
+        clipper = AdaptiveClipper(initial_clip=0.1, target_quantile=0.5)
+        before = clipper.clip
+        clipper.step_with_norms([5.0] * 10)
+        assert clipper.clip > before
+
+    def test_at_target_quantile_is_stable(self):
+        clipper = AdaptiveClipper(initial_clip=1.0, target_quantile=0.5)
+        clipper.step_with_norms([0.5, 0.6, 1.5, 2.0])  # exactly half below
+        assert clipper.clip == pytest.approx(1.0)
+
+    def test_converges_to_population_quantile(self):
+        rng = np.random.default_rng(0)
+        norms = rng.uniform(0.0, 2.0, size=200)
+        clipper = AdaptiveClipper(initial_clip=5.0, target_quantile=0.5,
+                                  learning_rate=0.3)
+        for _ in range(100):
+            clipper.step_with_norms(norms.tolist())
+        # Median of U(0,2) is 1.0.
+        assert clipper.clip == pytest.approx(1.0, abs=0.15)
+
+    def test_tracks_higher_quantile(self):
+        rng = np.random.default_rng(0)
+        norms = rng.uniform(0.0, 2.0, size=400)
+        clipper = AdaptiveClipper(initial_clip=1.0, target_quantile=0.9,
+                                  learning_rate=0.3)
+        for _ in range(150):
+            clipper.step_with_norms(norms.tolist())
+        assert clipper.clip == pytest.approx(1.8, abs=0.2)
+
+    def test_history_recorded(self):
+        clipper = AdaptiveClipper()
+        clipper.step_with_norms([1.0, 2.0])
+        clipper.step_with_norms([1.0, 2.0])
+        assert len(clipper.history) == 3
+
+    def test_empty_round_is_noop(self):
+        clipper = AdaptiveClipper(initial_clip=1.0)
+        assert clipper.update([]) == 1.0
+
+    def test_bit_noise_perturbs_trajectory(self):
+        noisy = AdaptiveClipper(initial_clip=1.0, bit_noise=2.0)
+        clean = AdaptiveClipper(initial_clip=1.0, bit_noise=0.0)
+        rng = np.random.default_rng(0)
+        noisy.step_with_norms([0.5] * 4, rng=rng)
+        clean.step_with_norms([0.5] * 4)
+        assert noisy.clip != clean.clip
+
+    def test_noisy_tracker_still_converges_on_average(self):
+        rng = np.random.default_rng(1)
+        norms = rng.uniform(0.0, 2.0, size=300)
+        clipper = AdaptiveClipper(initial_clip=4.0, target_quantile=0.5,
+                                  learning_rate=0.2, bit_noise=3.0)
+        for _ in range(200):
+            clipper.step_with_norms(norms.tolist(), rng=rng)
+        tail = np.asarray(clipper.history[-50:])
+        assert abs(tail.mean() - 1.0) < 0.3
+
+    @given(st.floats(0.05, 0.95), st.lists(st.floats(0.01, 5.0),
+                                           min_size=5, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_clip_stays_positive(self, gamma, norms):
+        clipper = AdaptiveClipper(initial_clip=1.0, target_quantile=gamma)
+        for _ in range(20):
+            clipper.step_with_norms(norms)
+            assert clipper.clip > 0

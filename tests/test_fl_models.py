@@ -1,0 +1,239 @@
+"""Tests for the numpy neural network library (repro.fl.models)."""
+
+import numpy as np
+import pytest
+
+from repro.fl.models import (
+    MODEL_NAMES,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    accuracy,
+    build_model,
+    softmax_cross_entropy,
+)
+
+
+RNG = np.random.default_rng(0)
+
+
+def finite_difference_check(model, x, y, epsilon=1e-5, samples=8):
+    """Compare backprop gradients to central finite differences."""
+    logits = model.forward(x, train=False)
+    _, dlogits = softmax_cross_entropy(logits, y)
+    model.backward(dlogits)
+    analytic = model.get_flat_grads()
+    flat = model.get_flat()
+    rng = np.random.default_rng(1)
+    checked = rng.choice(flat.size, size=min(samples, flat.size), replace=False)
+    for i in checked:
+        bumped = flat.copy()
+        bumped[i] += epsilon
+        model.set_flat(bumped)
+        loss_plus, _ = softmax_cross_entropy(model.forward(x, train=False), y)
+        bumped[i] -= 2 * epsilon
+        model.set_flat(bumped)
+        loss_minus, _ = softmax_cross_entropy(model.forward(x, train=False), y)
+        numeric = (loss_plus - loss_minus) / (2 * epsilon)
+        assert analytic[i] == pytest.approx(numeric, abs=1e-4), f"param {i}"
+    model.set_flat(flat)
+
+
+class TestParameterCounts:
+    """Table 2 parameter counts; exact where the paper's are exact."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("mnist_mlp", 50_890),       # paper: 50890 (exact)
+            ("cifar10_mlp", 197_322),    # paper: 197320 (bias counting)
+            ("cifar10_cnn", 62_006),     # paper: 62006 (exact, LeNet-5)
+            ("purchase100_mlp", 44_964),  # paper: 44964 (exact)
+            ("cifar100_cnn", 200_747),   # paper: 201588 (ResNet-18 stand-in)
+            ("tiny_mlp", 378),
+        ],
+    )
+    def test_param_count(self, name, expected):
+        assert build_model(name).num_params == expected
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("resnet152")
+
+    def test_all_names_buildable(self):
+        for name in MODEL_NAMES:
+            assert build_model(name).num_params > 0
+
+
+class TestFlatParameters:
+    def test_get_set_roundtrip(self):
+        model = build_model("tiny_mlp", seed=0)
+        flat = model.get_flat()
+        model.set_flat(np.zeros_like(flat))
+        assert np.all(model.get_flat() == 0.0)
+        model.set_flat(flat)
+        assert np.array_equal(model.get_flat(), flat)
+
+    def test_set_flat_wrong_size_rejected(self):
+        model = build_model("tiny_mlp")
+        with pytest.raises(ValueError):
+            model.set_flat(np.zeros(3))
+
+    def test_different_seeds_different_init(self):
+        a = build_model("tiny_mlp", seed=0).get_flat()
+        b = build_model("tiny_mlp", seed=1).get_flat()
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_reproducible(self):
+        a = build_model("tiny_mlp", seed=3).get_flat()
+        b = build_model("tiny_mlp", seed=3).get_flat()
+        assert np.array_equal(a, b)
+
+
+class TestGradients:
+    def test_mlp_gradient_check(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([
+            Linear(6, 5, rng), ReLU(), Linear(5, 3, rng),
+        ])
+        x = rng.normal(size=(4, 6))
+        y = np.asarray([0, 1, 2, 1])
+        finite_difference_check(model, x, y)
+
+    def test_cnn_gradient_check(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([
+            Conv2d(1, 2, 3, rng), ReLU(), MaxPool2d(2),
+            Flatten(), Linear(2 * 3 * 3, 3, rng),
+        ])
+        x = rng.normal(size=(2, 1, 8, 8))
+        y = np.asarray([0, 2])
+        finite_difference_check(model, x, y)
+
+    def test_padded_conv_gradient_check(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([
+            Conv2d(1, 2, 3, rng, padding=1), Flatten(),
+            Linear(2 * 6 * 6, 2, rng),
+        ])
+        x = rng.normal(size=(2, 1, 6, 6))
+        y = np.asarray([0, 1])
+        finite_difference_check(model, x, y)
+
+    def test_strided_conv_gradient_check(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([
+            Conv2d(1, 2, 3, rng, stride=2), Flatten(),
+            Linear(2 * 3 * 3, 2, rng),
+        ])
+        x = rng.normal(size=(2, 1, 7, 7))
+        y = np.asarray([1, 0])
+        finite_difference_check(model, x, y)
+
+
+class TestLayers:
+    def test_relu_masks_negatives(self):
+        relu = ReLU()
+        out = relu.forward(np.asarray([[-1.0, 2.0]]))
+        assert out.tolist() == [[0.0, 2.0]]
+        grad = relu.backward(np.asarray([[5.0, 5.0]]))
+        assert grad.tolist() == [[0.0, 5.0]]
+
+    def test_dropout_eval_is_identity(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        x = np.ones((4, 10))
+        assert np.array_equal(drop.forward(x, train=False), x)
+
+    def test_dropout_train_zeroes_and_scales(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = drop.forward(x, train=True)
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)  # inverted dropout scaling
+        assert 0.35 < (out > 0).mean() < 0.65
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, np.random.default_rng(0))
+
+    def test_maxpool_values(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        assert out.reshape(-1).tolist() == [5.0, 7.0, 13.0, 15.0]
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2)))
+        assert grad.sum() == 4.0
+        assert grad[0, 0, 1, 1] == 1.0  # position of 5
+
+    def test_maxpool_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(2).forward(np.zeros((1, 1, 5, 5)))
+
+    def test_flatten_roundtrip(self):
+        flat = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 3, 2, 2)
+        out = flat.forward(x)
+        assert out.shape == (2, 12)
+        assert flat.backward(out).shape == x.shape
+
+    def test_conv_output_shape(self):
+        conv = Conv2d(3, 6, 5, np.random.default_rng(0))
+        out = conv.forward(np.zeros((2, 3, 32, 32)))
+        assert out.shape == (2, 6, 28, 28)
+
+    def test_conv_padding_preserves_shape(self):
+        conv = Conv2d(3, 4, 3, np.random.default_rng(0), padding=1)
+        out = conv.forward(np.zeros((1, 3, 8, 8)))
+        assert out.shape == (1, 4, 8, 8)
+
+
+class TestLossAndTraining:
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((2, 4))
+        loss, dlogits = softmax_cross_entropy(logits, np.asarray([0, 3]))
+        assert loss == pytest.approx(np.log(4.0))
+        assert dlogits.shape == (2, 4)
+
+    def test_cross_entropy_confident_correct(self):
+        logits = np.asarray([[100.0, 0.0]])
+        loss, _ = softmax_cross_entropy(logits, np.asarray([0]))
+        assert loss < 1e-6
+
+    def test_gradient_sums_to_zero_per_row(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 7))
+        _, dlogits = softmax_cross_entropy(logits, np.asarray([0, 1, 2, 3, 4]))
+        assert np.allclose(dlogits.sum(axis=1), 0.0)
+
+    def test_sgd_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([Linear(10, 16, rng), ReLU(), Linear(16, 3, rng)])
+        x = rng.normal(size=(60, 10))
+        y = rng.integers(0, 3, size=60)
+        # Make labels learnable: shift class means apart.
+        for c in range(3):
+            x[y == c] += 2.0 * c
+        first_loss, _ = softmax_cross_entropy(model.forward(x), y)
+        for _ in range(60):
+            logits = model.forward(x, train=True)
+            _, dlogits = softmax_cross_entropy(logits, y)
+            model.backward(dlogits)
+            model.sgd_step(0.1)
+        final_loss, _ = softmax_cross_entropy(model.forward(x), y)
+        assert final_loss < first_loss * 0.5
+        assert accuracy(model, x, y) > 0.8
+
+    def test_accuracy_bounds(self):
+        model = build_model("tiny_mlp")
+        x = np.zeros((5, 24))
+        y = np.zeros(5, dtype=np.int64)
+        assert 0.0 <= accuracy(model, x, y) <= 1.0

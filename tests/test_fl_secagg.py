@@ -1,0 +1,147 @@
+"""Tests for pairwise-masking secure aggregation (repro.fl.secagg)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fl.client import LocalUpdate
+from repro.fl.secagg import (
+    FIELD_MOD,
+    aggregate_dense_masked,
+    aggregate_sparse_masked,
+    decode_fixed_point,
+    encode_fixed_point,
+    setup_pairwise_seeds,
+)
+
+
+class TestFixedPoint:
+    @given(st.lists(st.floats(-1000, 1000), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, values):
+        v = np.asarray(values)
+        out = decode_fixed_point(encode_fixed_point(v), 1)
+        assert np.allclose(out, v, atol=1e-6)
+
+    def test_negative_values(self):
+        v = np.asarray([-1.5, -0.001])
+        assert np.allclose(decode_fixed_point(encode_fixed_point(v), 1), v,
+                           atol=1e-6)
+
+    def test_field_range(self):
+        enc = encode_fixed_point(np.asarray([-5.0, 5.0]))
+        assert np.all(enc >= 0)
+        assert np.all(enc < FIELD_MOD)
+
+
+class TestPairwiseSeeds:
+    def test_seeds_are_symmetric(self):
+        clients = setup_pairwise_seeds([0, 1, 2], seed=0)
+        assert clients[0].pair_seeds[1] == clients[1].pair_seeds[0]
+        assert clients[1].pair_seeds[2] == clients[2].pair_seeds[1]
+
+    def test_distinct_pairs_distinct_seeds(self):
+        clients = setup_pairwise_seeds([0, 1, 2], seed=0)
+        assert clients[0].pair_seeds[1] != clients[0].pair_seeds[2]
+
+    def test_no_self_seed(self):
+        clients = setup_pairwise_seeds([0, 1], seed=0)
+        assert 0 not in clients[0].pair_seeds
+
+
+class TestDenseSecAgg:
+    def test_masks_cancel_in_sum(self):
+        rng = np.random.default_rng(0)
+        values = {cid: rng.normal(size=20) for cid in range(4)}
+        clients = setup_pairwise_seeds(list(values), seed=1)
+        masked = [clients[cid].mask_dense(values[cid]) for cid in values]
+        out = aggregate_dense_masked(masked, len(values))
+        expected = sum(values.values())
+        assert np.allclose(out, expected, atol=1e-5)
+
+    def test_individual_upload_is_masked(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=10)
+        clients = setup_pairwise_seeds([0, 1], seed=2)
+        masked = clients[0].mask_dense(v)
+        # The server cannot read the values off one upload.
+        assert not np.allclose(decode_fixed_point(masked, 1), v, atol=1e-3)
+
+    def test_two_clients_minimum(self):
+        clients = setup_pairwise_seeds([0, 1], seed=3)
+        a = clients[0].mask_dense(np.asarray([1.0, 2.0]))
+        b = clients[1].mask_dense(np.asarray([3.0, 4.0]))
+        out = aggregate_dense_masked([a, b], 2)
+        assert np.allclose(out, [4.0, 6.0], atol=1e-6)
+
+    @given(st.integers(2, 6), st.integers(1, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_cancellation_property(self, n_clients, dim):
+        rng = np.random.default_rng(0)
+        values = {cid: rng.normal(size=dim) for cid in range(n_clients)}
+        clients = setup_pairwise_seeds(list(values), seed=4)
+        masked = [clients[cid].mask_dense(values[cid]) for cid in values]
+        out = aggregate_dense_masked(masked, n_clients)
+        assert np.allclose(out, sum(values.values()), atol=1e-5)
+
+
+class TestSparseSecAgg:
+    def _updates_same_support(self, n=3, d=30, k=4, seed=0):
+        rng = np.random.default_rng(seed)
+        idx = np.sort(rng.choice(d, size=k, replace=False)).astype(np.int64)
+        return [
+            LocalUpdate(cid, idx.copy(), rng.normal(size=k))
+            for cid in range(n)
+        ]
+
+    def test_shared_support_decodes_exactly(self):
+        d = 30
+        updates = self._updates_same_support(d=d)
+        clients = setup_pairwise_seeds([u.client_id for u in updates], seed=5)
+        uploads = [
+            clients[u.client_id].mask_sparse(u, d) for u in updates
+        ]
+        aggregate, _ = aggregate_sparse_masked(uploads, d)
+        expected = np.zeros(d)
+        for u in updates:
+            np.add.at(expected, u.indices, u.values)
+        assert np.allclose(aggregate, expected, atol=1e-5)
+
+    def test_index_sets_leak_in_plaintext(self):
+        # The paper's generality point: no TEE, still the same leak.
+        d = 30
+        rng = np.random.default_rng(1)
+        updates = [
+            LocalUpdate(cid, np.sort(rng.choice(
+                d, size=4, replace=False)).astype(np.int64),
+                rng.normal(size=4))
+            for cid in range(3)
+        ]
+        clients = setup_pairwise_seeds([0, 1, 2], seed=6)
+        uploads = [clients[u.client_id].mask_sparse(u, d) for u in updates]
+        _, leaked = aggregate_sparse_masked(uploads, d)
+        for u in updates:
+            assert leaked[u.client_id] == frozenset(u.indices.tolist())
+
+    def test_values_are_hidden_per_upload(self):
+        d = 30
+        updates = self._updates_same_support(d=d, seed=2)
+        clients = setup_pairwise_seeds([u.client_id for u in updates], seed=7)
+        upload = clients[0].mask_sparse(updates[0], d)
+        assert not np.allclose(
+            decode_fixed_point(upload.masked_values, 1),
+            updates[0].values, atol=1e-3,
+        )
+
+    def test_disjoint_support_leaves_residual_masks(self):
+        # The alignment problem: pairs that disagree on a coordinate
+        # leave residual masks there -- documented behaviour.
+        d = 10
+        u0 = LocalUpdate(0, np.asarray([1]), np.asarray([1.0]))
+        u1 = LocalUpdate(1, np.asarray([7]), np.asarray([2.0]))
+        clients = setup_pairwise_seeds([0, 1], seed=8)
+        uploads = [clients[0].mask_sparse(u0, d), clients[1].mask_sparse(u1, d)]
+        aggregate, _ = aggregate_sparse_masked(uploads, d)
+        expected = np.zeros(d)
+        expected[1], expected[7] = 1.0, 2.0
+        assert not np.allclose(aggregate, expected, atol=1e-3)

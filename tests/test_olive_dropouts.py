@@ -1,0 +1,67 @@
+"""Tests for client-dropout handling in OLIVE rounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.olive import OliveConfig, OliveSystem
+from repro.fl.client import TrainingConfig
+from repro.fl.datasets import SPECS, SyntheticClassData, partition_clients
+from repro.fl.models import build_model
+
+
+def _system(seed=0):
+    gen = SyntheticClassData(SPECS["tiny"], seed=0)
+    clients = partition_clients(gen, 10, 20, 2, seed=0)
+    return OliveSystem(
+        build_model("tiny_mlp", seed=0), clients,
+        OliveConfig(sample_rate=1.0, noise_multiplier=0.5,
+                    aggregator="advanced",
+                    training=TrainingConfig(sparse_ratio=0.2)),
+        seed=seed,
+    )
+
+
+class TestDropouts:
+    def test_dropouts_excluded_from_round(self):
+        system = _system()
+        log = system.run_round(dropouts={2, 5})
+        assert 2 not in log.participants
+        assert 5 not in log.participants
+        assert 2 not in log.updates and 5 not in log.updates
+
+    def test_round_proceeds_with_remainder(self):
+        system = _system()
+        log = system.run_round(dropouts={0, 1, 2, 3, 4})
+        assert len(log.participants) >= 1
+        assert not np.array_equal(log.weights_before, log.weights_after)
+
+    def test_no_dropouts_default(self):
+        system = _system()
+        log = system.run_round()
+        assert set(log.participants) == system.enclave.sampled_clients
+
+    def test_denominator_unchanged_by_dropouts(self):
+        # DP semantics: the divisor stays the expected count qN, so a
+        # round with dropouts produces a smaller-magnitude update (not
+        # a re-normalized one that would break sensitivity analysis).
+        full = _system(seed=3)
+        log_full = full.run_round()
+        dropped = _system(seed=3)
+        log_drop = dropped.run_round(dropouts=set(range(5)))
+        step_full = np.linalg.norm(
+            log_full.weights_after - log_full.weights_before
+        )
+        step_drop = np.linalg.norm(
+            log_drop.weights_after - log_drop.weights_before
+        )
+        assert step_drop < step_full * 1.1
+
+    def test_dropout_of_unsampled_client_is_harmless(self):
+        system = _system()
+        log = system.run_round(dropouts={999})
+        assert len(log.participants) >= 1
+
+    def test_privacy_accounting_still_advances(self):
+        system = _system()
+        log = system.run_round(dropouts={0})
+        assert log.epsilon > 0

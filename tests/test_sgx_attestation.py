@@ -1,0 +1,105 @@
+"""Tests for simulated remote attestation (repro.sgx.attestation)."""
+
+import pytest
+
+from repro.sgx.attestation import (
+    AttestationError,
+    AttestationService,
+    DiffieHellman,
+    Quote,
+    client_attest,
+    measure,
+)
+
+
+class TestMeasurement:
+    def test_deterministic(self):
+        assert measure(b"code") == measure(b"code")
+
+    def test_distinguishes_code(self):
+        assert measure(b"code-v1") != measure(b"code-v2")
+
+    def test_length(self):
+        assert len(measure(b"anything")) == 32
+
+
+class TestQuotes:
+    def test_sign_and_verify(self):
+        service = AttestationService(signing_key=b"k" * 32)
+        quote = service.sign_quote(measure(b"enclave"), dh_public=12345)
+        assert service.verify_quote(quote)
+
+    def test_forged_signature_rejected(self):
+        service = AttestationService(signing_key=b"k" * 32)
+        quote = service.sign_quote(measure(b"enclave"), dh_public=12345)
+        forged = Quote(quote.measurement, quote.dh_public, b"\x00" * 32)
+        assert not service.verify_quote(forged)
+
+    def test_altered_measurement_rejected(self):
+        service = AttestationService(signing_key=b"k" * 32)
+        quote = service.sign_quote(measure(b"enclave"), dh_public=12345)
+        forged = Quote(measure(b"evil"), quote.dh_public, quote.signature)
+        assert not service.verify_quote(forged)
+
+    def test_altered_dh_share_rejected(self):
+        service = AttestationService(signing_key=b"k" * 32)
+        quote = service.sign_quote(measure(b"enclave"), dh_public=12345)
+        forged = Quote(quote.measurement, 54321, quote.signature)
+        assert not service.verify_quote(forged)
+
+    def test_different_services_do_not_cross_verify(self):
+        s1 = AttestationService(signing_key=b"a" * 32)
+        s2 = AttestationService(signing_key=b"b" * 32)
+        quote = s1.sign_quote(measure(b"enclave"), dh_public=1)
+        assert not s2.verify_quote(quote)
+
+
+class TestDiffieHellman:
+    def test_key_agreement(self):
+        alice = DiffieHellman(secret=1234567)
+        bob = DiffieHellman(secret=7654321)
+        assert alice.shared_key(bob.public) == bob.shared_key(alice.public)
+
+    def test_different_peers_different_keys(self):
+        alice = DiffieHellman(secret=1234567)
+        bob = DiffieHellman(secret=7654321)
+        carol = DiffieHellman(secret=1111111)
+        assert alice.shared_key(bob.public) != alice.shared_key(carol.public)
+
+    def test_invalid_public_share_rejected(self):
+        alice = DiffieHellman(secret=1234567)
+        with pytest.raises(AttestationError):
+            alice.shared_key(0)
+        with pytest.raises(AttestationError):
+            alice.shared_key(1)
+
+    def test_shared_key_length(self):
+        alice = DiffieHellman(secret=1234567)
+        bob = DiffieHellman(secret=7654321)
+        assert len(alice.shared_key(bob.public)) == 32
+
+
+class TestClientAttest:
+    def _setup(self):
+        service = AttestationService()
+        enclave_dh = DiffieHellman(secret=999888777)
+        m = measure(b"olive-enclave")
+        quote = service.sign_quote(m, enclave_dh.public)
+        return service, enclave_dh, m, quote
+
+    def test_happy_path_agrees_with_enclave(self):
+        service, enclave_dh, m, quote = self._setup()
+        client_dh = DiffieHellman(secret=123123)
+        key = client_attest(service, quote, m, client_dh)
+        assert key == enclave_dh.shared_key(client_dh.public)
+
+    def test_wrong_measurement_aborts(self):
+        service, _, _, quote = self._setup()
+        with pytest.raises(AttestationError):
+            client_attest(service, quote, measure(b"other"), DiffieHellman())
+
+    def test_forged_quote_aborts(self):
+        service, _, m, quote = self._setup()
+        forged = Quote(quote.measurement, quote.dh_public, b"\x11" * 32)
+        with pytest.raises(AttestationError):
+            client_attest(service, forged, m, DiffieHellman())

@@ -1,0 +1,151 @@
+"""Tests for the cycle cost model (repro.sgx.cost)."""
+
+import pytest
+
+from repro.sgx.cost import (
+    CostModel,
+    CostParameters,
+    CostReport,
+    EpcPager,
+    SetAssociativeCache,
+)
+
+
+SMALL = CostParameters(
+    l2_bytes=4 * 1024, l2_assoc=4,
+    l3_bytes=16 * 1024, l3_assoc=4,
+    epc_bytes=64 * 1024,
+)
+
+
+class TestSetAssociativeCache:
+    def test_repeat_access_hits(self):
+        cache = SetAssociativeCache(1024, 4, 64)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_capacity_eviction_lru(self):
+        # Direct-mapped-ish: 1 set, 2 ways.
+        cache = SetAssociativeCache(128, 2, 64)
+        cache.access(0)
+        cache.access(1)
+        cache.access(2)       # evicts 0 (LRU)
+        assert not cache.access(0)
+        assert cache.access(2)
+
+    def test_lru_refresh_on_hit(self):
+        cache = SetAssociativeCache(128, 2, 64)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)       # 1 becomes LRU
+        cache.access(2)       # evicts 1
+        assert cache.access(0)
+        assert not cache.access(1)
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = SetAssociativeCache(2048, 4, 64)  # 8 sets
+        for line in range(8):
+            cache.access(line)
+        assert all(cache.access(line) for line in range(8))
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, 3, 64)
+
+    def test_reset(self):
+        cache = SetAssociativeCache(1024, 4, 64)
+        cache.access(0)
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+        assert not cache.access(0)
+
+
+class TestEpcPager:
+    def test_resident_hit(self):
+        pager = EpcPager(8192, 4096)  # 2 pages
+        assert pager.access(0) == "cold"
+        assert pager.access(0) == "hit"
+
+    def test_cold_fill_not_charged_as_fault(self):
+        pager = EpcPager(4 * 4096, 4096)
+        outcomes = [pager.access(p) for p in range(4)]
+        assert outcomes == ["cold"] * 4
+        assert pager.faults == 0
+
+    def test_eviction_fault(self):
+        pager = EpcPager(2 * 4096, 4096)
+        pager.access(0)
+        pager.access(1)
+        assert pager.access(2) == "evict"
+        assert pager.faults == 1
+        # 0 was evicted (LRU), 1 still resident.
+        assert pager.access(1) == "hit"
+        assert pager.access(0) == "evict"
+
+    def test_reset(self):
+        pager = EpcPager(4096, 4096)
+        pager.access(0)
+        pager.reset()
+        assert pager.access(0) == "cold"
+
+
+class TestCostModel:
+    def test_sequential_hits_are_cheap(self):
+        model = CostModel(SMALL)
+        first = model.charge_lines([0])
+        again = model.charge_lines([0])
+        assert again.cycles < first.cycles
+
+    def test_working_set_beyond_caches_costs_dram(self):
+        model = CostModel(SMALL)
+        # 16 KB L3 = 256 lines; stream over 512 lines twice.
+        stream = list(range(512)) * 2
+        report = model.charge_lines(stream)
+        assert report.dram_accesses > 500
+
+    def test_small_working_set_stays_in_cache(self):
+        model = CostModel(SMALL)
+        stream = list(range(8)) * 100
+        report = model.charge_lines(stream)
+        assert report.l2_hits > 700
+
+    def test_epc_thrash_dominates_cycles(self):
+        model = CostModel(SMALL)
+        # 64 KB EPC = 16 pages; cycle over 32 pages repeatedly.
+        lines_per_page = 4096 // 64
+        stream = [p * lines_per_page for p in range(32)] * 5
+        report = model.charge_lines(stream)
+        assert report.page_faults > 0
+        assert report.cycles > report.accesses * SMALL.cycles_dram
+
+    def test_report_counts_accesses(self):
+        model = CostModel(SMALL)
+        assert model.charge_lines(range(10)).accesses == 10
+
+    def test_charge_addresses_coarsens(self):
+        model = CostModel(SMALL)
+        report = model.charge_addresses([0, 8, 63])  # one cacheline
+        assert report.accesses == 3
+        assert report.l2_hits == 2
+
+    def test_report_merge(self):
+        a = CostReport(accesses=1, cycles=10, page_faults=1)
+        b = CostReport(accesses=2, cycles=20, l2_hits=2)
+        m = a.merge(b)
+        assert m.accesses == 3 and m.cycles == 30
+        assert m.page_faults == 1 and m.l2_hits == 2
+
+    def test_seconds_conversion(self):
+        assert CostReport(cycles=3_800_000_000).seconds == pytest.approx(1.0)
+
+    def test_locality_beats_random_order(self):
+        sequential = CostModel(SMALL).charge_lines(list(range(64)) * 8)
+        import random
+
+        rng = random.Random(0)
+        shuffled_stream = list(range(64)) * 8
+        rng.shuffle(shuffled_stream)
+        shuffled = CostModel(SMALL).charge_lines(shuffled_stream)
+        # Same multiset of lines; sequential reuse must not be worse.
+        assert sequential.cycles <= shuffled.cycles * 1.05

@@ -1,0 +1,162 @@
+"""Tests for the enclave runtime (repro.sgx.enclave)."""
+
+import numpy as np
+import pytest
+
+from repro.sgx import crypto
+from repro.sgx.attestation import DiffieHellman, client_attest
+from repro.sgx.enclave import (
+    Enclave,
+    EnclaveSecurityError,
+    KeyStore,
+    provision_enclave_with_clients,
+)
+
+
+class TestKeyStore:
+    def test_put_get(self):
+        ks = KeyStore()
+        ks.put(1, b"k" * 32)
+        assert ks.get(1) == b"k" * 32
+        assert 1 in ks
+        assert len(ks) == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(EnclaveSecurityError):
+            KeyStore().get(7)
+
+
+class TestProvisioning:
+    def test_ra_establishes_matching_keys(self):
+        enclave = Enclave(seed=0)
+        keys = provision_enclave_with_clients(enclave, [0, 1, 2])
+        assert set(keys) == {0, 1, 2}
+        for cid, key in keys.items():
+            assert enclave.keystore.get(cid) == key
+
+    def test_manual_ra_flow(self):
+        enclave = Enclave(seed=1)
+        client_dh = DiffieHellman(secret=424242)
+        key = client_attest(
+            enclave.attestation_service, enclave.quote(),
+            enclave.measurement, client_dh,
+        )
+        enclave.complete_ra(9, client_dh.public)
+        assert enclave.keystore.get(9) == key
+
+    def test_measurement_reflects_code_identity(self):
+        a = Enclave(code_identity=b"v1", seed=0)
+        b = Enclave(code_identity=b"v2", seed=0)
+        assert a.measurement != b.measurement
+
+
+class TestAllocation:
+    def test_alloc_returns_traced_region(self):
+        enclave = Enclave(seed=0)
+        arr = enclave.alloc(10, itemsize=8)
+        arr.read(3)
+        assert enclave.trace.offsets(arr.name) == [3]
+
+    def test_alloc_names_unique(self):
+        enclave = Enclave(seed=0)
+        a = enclave.alloc(4)
+        b = enclave.alloc(4)
+        assert a.name != b.name
+
+    def test_epc_oversubscription_flag(self):
+        enclave = Enclave(seed=0, epc_bytes=1024)
+        enclave.alloc(100, itemsize=8)
+        assert not enclave.oversubscribed
+        enclave.alloc(100, itemsize=8)
+        assert enclave.oversubscribed
+
+    def test_reset_trace_clears_state(self):
+        enclave = Enclave(seed=0)
+        arr = enclave.alloc(4)
+        arr.read(0)
+        enclave.reset_trace()
+        assert len(enclave.trace) == 0
+        assert enclave.allocated_bytes == 0
+
+
+class TestSecureSampling:
+    def test_sampling_rate_respected(self):
+        enclave = Enclave(seed=0)
+        population = list(range(2000))
+        sampled = enclave.sample_clients(population, 0.1)
+        assert 120 <= len(sampled) <= 280
+        assert set(sampled) <= set(population)
+
+    def test_sampling_never_empty(self):
+        enclave = Enclave(seed=3)
+        for _ in range(50):
+            assert len(enclave.sample_clients([1, 2], 0.01)) >= 1
+
+    def test_invalid_rate_raises(self):
+        enclave = Enclave(seed=0)
+        with pytest.raises(ValueError):
+            enclave.sample_clients([1], 0.0)
+        with pytest.raises(ValueError):
+            enclave.sample_clients([1], 1.5)
+
+    def test_deterministic_with_seed(self):
+        a = Enclave(seed=7).sample_clients(list(range(100)), 0.3)
+        b = Enclave(seed=7).sample_clients(list(range(100)), 0.3)
+        assert a == b
+
+
+class TestGradientLoading:
+    def _provisioned(self):
+        enclave = Enclave(seed=0)
+        keys = provision_enclave_with_clients(enclave, [0, 1, 2])
+        enclave.sample_clients([0, 1, 2], 1.0)
+        return enclave, keys
+
+    def test_valid_gradient_accepted(self):
+        enclave, keys = self._provisioned()
+        ct = crypto.seal(keys[1], crypto.encode_sparse_gradient([2, 5], [1.0, -1.0]))
+        idx, val = enclave.load_gradient(1, ct)
+        assert idx == [2, 5]
+        assert val == [1.0, -1.0]
+
+    def test_unsampled_client_rejected(self):
+        enclave = Enclave(seed=0)
+        keys = provision_enclave_with_clients(enclave, [0, 1])
+        enclave._sampled = {0}
+        ct = crypto.seal(keys[1], crypto.encode_sparse_gradient([1], [1.0]))
+        with pytest.raises(EnclaveSecurityError, match="not securely sampled"):
+            enclave.load_gradient(1, ct)
+
+    def test_wrong_key_rejected(self):
+        enclave, keys = self._provisioned()
+        attacker_key = crypto.generate_key(b"attacker")
+        ct = crypto.seal(attacker_key, crypto.encode_sparse_gradient([1], [1.0]))
+        with pytest.raises(EnclaveSecurityError, match="authentication"):
+            enclave.load_gradient(1, ct)
+
+    def test_replay_under_other_client_id_rejected(self):
+        # Ciphertext from client 1 replayed as client 2's contribution.
+        enclave, keys = self._provisioned()
+        ct = crypto.seal(keys[1], crypto.encode_sparse_gradient([1], [1.0]))
+        with pytest.raises(EnclaveSecurityError):
+            enclave.load_gradient(2, ct)
+
+    def test_tampered_ciphertext_rejected(self):
+        enclave, keys = self._provisioned()
+        ct = crypto.seal(keys[0], crypto.encode_sparse_gradient([1], [1.0]))
+        forged = crypto.Ciphertext(
+            ct.nonce, bytes([ct.body[0] ^ 0xFF]) + ct.body[1:], ct.tag
+        )
+        with pytest.raises(EnclaveSecurityError):
+            enclave.load_gradient(0, forged)
+
+
+class TestEnclaveNoise:
+    def test_gauss_vector_statistics(self):
+        enclave = Enclave(seed=0)
+        samples = np.asarray(enclave.gauss_vector(2.0, 4000))
+        assert abs(samples.mean()) < 0.2
+        assert abs(samples.std() - 2.0) < 0.2
+
+    def test_gauss_deterministic_with_seed(self):
+        assert Enclave(seed=5).gauss(1.0) == Enclave(seed=5).gauss(1.0)

@@ -1,0 +1,175 @@
+"""Tests for the traced memory substrate (repro.sgx.memory)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sgx.memory import (
+    CACHELINE_BYTES,
+    MemoryAccess,
+    RegionLayout,
+    Trace,
+    TracedArray,
+)
+
+
+class TestMemoryAccess:
+    def test_cacheline_of_first_element(self):
+        assert MemoryAccess("g", 0, "read").cacheline(8) == 0
+
+    def test_cacheline_boundary_8_byte_items(self):
+        # 8 elements of 8 bytes fill one 64-byte line.
+        assert MemoryAccess("g", 7, "read").cacheline(8) == 0
+        assert MemoryAccess("g", 8, "read").cacheline(8) == 1
+
+    def test_cacheline_boundary_4_byte_items(self):
+        assert MemoryAccess("g", 15, "read").cacheline(4) == 0
+        assert MemoryAccess("g", 16, "read").cacheline(4) == 1
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.sampled_from([1, 2, 4, 8, 16]))
+    def test_cacheline_matches_byte_arithmetic(self, offset, itemsize):
+        access = MemoryAccess("r", offset, "write")
+        assert access.cacheline(itemsize) == (offset * itemsize) // CACHELINE_BYTES
+
+
+class TestTrace:
+    def test_records_in_order(self):
+        trace = Trace()
+        trace.record("a", 1, "read")
+        trace.record("b", 2, "write")
+        assert [a.region for a in trace] == ["a", "b"]
+        assert len(trace) == 2
+
+    def test_equality_is_sequence_equality(self):
+        t1, t2 = Trace(), Trace()
+        for t in (t1, t2):
+            t.record("g", 0, "read")
+            t.record("g", 1, "write")
+        assert t1 == t2
+        t2.record("g", 2, "read")
+        assert t1 != t2
+
+    def test_order_matters_for_equality(self):
+        t1, t2 = Trace(), Trace()
+        t1.record("g", 0, "read")
+        t1.record("g", 1, "read")
+        t2.record("g", 1, "read")
+        t2.record("g", 0, "read")
+        assert t1 != t2
+
+    def test_project_filters_by_region(self):
+        trace = Trace()
+        trace.record("g", 0, "read")
+        trace.record("h", 5, "write")
+        trace.record("g", 3, "write")
+        assert [a.offset for a in trace.project("g")] == [0, 3]
+
+    def test_offsets_filters_by_op(self):
+        trace = Trace()
+        trace.record("g", 0, "read")
+        trace.record("g", 1, "write")
+        trace.record("g", 2, "read")
+        assert trace.offsets("g") == [0, 1, 2]
+        assert trace.offsets("g", op="write") == [1]
+
+    def test_cachelines_projection(self):
+        trace = Trace()
+        for offset in (0, 7, 8, 17):
+            trace.record("g", offset, "read")
+        assert trace.cachelines("g", itemsize=8) == [0, 0, 1, 2]
+
+    def test_signature_is_hashable(self):
+        trace = Trace()
+        trace.record("g", 0, "read")
+        assert hash(trace.signature()) == hash((("g", 0, "read"),))
+
+
+class TestTracedArray:
+    def test_read_write_roundtrip(self):
+        arr = TracedArray("g", [1.0, 2.0, 3.0])
+        arr.write(1, 9.0)
+        assert arr.read(1) == 9.0
+        assert arr.read(0) == 1.0
+
+    def test_accesses_recorded(self):
+        trace = Trace()
+        arr = TracedArray("g", [0.0] * 4, trace=trace)
+        arr.read(2)
+        arr.write(3, 1.0)
+        assert trace.signature() == (("g", 2, "read"), ("g", 3, "write"))
+
+    def test_untraced_mode_records_nothing(self):
+        arr = TracedArray("g", [0.0] * 4, trace=None)
+        arr.read(0)
+        arr.write(1, 5.0)  # no trace to inspect; just must not raise
+        assert arr.read(1) == 5.0
+
+    def test_out_of_bounds_read_raises(self):
+        arr = TracedArray("g", [0.0])
+        with pytest.raises(IndexError):
+            arr.read(1)
+        with pytest.raises(IndexError):
+            arr.read(-1)
+
+    def test_out_of_bounds_write_raises(self):
+        arr = TracedArray("g", [0.0])
+        with pytest.raises(IndexError):
+            arr.write(5, 1.0)
+
+    def test_zeros_constructor(self):
+        arr = TracedArray.zeros("g", 5)
+        assert len(arr) == 5
+        assert arr.snapshot() == [0.0] * 5
+
+    def test_snapshot_does_not_trace(self):
+        trace = Trace()
+        arr = TracedArray("g", [1.0, 2.0], trace=trace)
+        assert arr.snapshot() == [1.0, 2.0]
+        assert len(trace) == 0
+
+    def test_load_replaces_contents_untraced(self):
+        trace = Trace()
+        arr = TracedArray.zeros("g", 3, trace=trace)
+        arr.load([1.0, 2.0, 3.0])
+        assert arr.snapshot() == [1.0, 2.0, 3.0]
+        assert len(trace) == 0
+
+    def test_load_length_mismatch_raises(self):
+        arr = TracedArray.zeros("g", 3)
+        with pytest.raises(ValueError):
+            arr.load([1.0])
+
+    def test_holds_tuples(self):
+        arr = TracedArray("g", [(1, 0.5), (2, 0.25)])
+        assert arr.read(0) == (1, 0.5)
+
+
+class TestRegionLayout:
+    def test_regions_do_not_overlap(self):
+        layout = RegionLayout()
+        layout.add("a", 10, 8)   # 80 bytes -> 128 aligned
+        base_b = layout.add("b", 4, 4)
+        assert base_b == 128
+        assert layout.byte_address("b", 0) == 128
+
+    def test_duplicate_region_raises(self):
+        layout = RegionLayout()
+        layout.add("a", 1, 8)
+        with pytest.raises(ValueError):
+            layout.add("a", 1, 8)
+
+    def test_byte_address_arithmetic(self):
+        layout = RegionLayout()
+        layout.add("a", 10, 8)
+        assert layout.byte_address("a", 3) == 24
+
+    def test_byte_address_out_of_region_raises(self):
+        layout = RegionLayout()
+        layout.add("a", 2, 8)
+        with pytest.raises(IndexError):
+            layout.byte_address("a", 2)
+
+    def test_total_bytes_accounts_alignment(self):
+        layout = RegionLayout()
+        layout.add("a", 1, 4)  # 4 bytes -> 64 aligned
+        assert layout.total_bytes() == 64

@@ -1,0 +1,84 @@
+"""Tests for the side-channel adversary view (repro.sgx.observer)."""
+
+import pytest
+
+from repro.sgx.memory import Trace, TracedArray
+from repro.sgx.observer import CACHELINE, WORD, ObserverConfig, SideChannelObserver
+
+
+def _trace_with_accesses(offsets, region="g_star"):
+    trace = Trace()
+    arr = TracedArray.zeros(region, max(offsets) + 1, trace=trace, itemsize=4)
+    for off in offsets:
+        arr.read(off)
+    return trace
+
+
+class TestObserverConfig:
+    def test_rejects_unknown_granularity(self):
+        with pytest.raises(ValueError):
+            ObserverConfig(granularity="page")
+
+    def test_defaults_to_word(self):
+        assert ObserverConfig().granularity == WORD
+
+
+class TestWordObserver:
+    def test_sequence_preserves_order(self):
+        obs = SideChannelObserver("g_star")
+        trace = _trace_with_accesses([5, 2, 5])
+        assert obs.observed_sequence(trace) == [5, 2, 5]
+
+    def test_set_deduplicates(self):
+        obs = SideChannelObserver("g_star")
+        trace = _trace_with_accesses([5, 2, 5])
+        assert obs.observed_set(trace) == frozenset({2, 5})
+
+    def test_other_regions_invisible(self):
+        trace = Trace()
+        TracedArray.zeros("other", 4, trace=trace).read(1)
+        obs = SideChannelObserver("g_star")
+        assert obs.observed_set(trace) == frozenset()
+
+    def test_write_set_filters_ops(self):
+        trace = Trace()
+        arr = TracedArray.zeros("g_star", 8, trace=trace, itemsize=4)
+        arr.read(1)
+        arr.write(3, 1.0)
+        obs = SideChannelObserver("g_star")
+        assert obs.observed_write_set(trace) == frozenset({3})
+        assert obs.observed_set(trace) == frozenset({1, 3})
+
+
+class TestCachelineObserver:
+    def _observer(self):
+        return SideChannelObserver(
+            "g_star", ObserverConfig(granularity=CACHELINE), itemsize=4
+        )
+
+    def test_coarsens_16_weights_per_line(self):
+        obs = self._observer()
+        trace = _trace_with_accesses([0, 15, 16, 31, 32])
+        assert obs.observed_sequence(trace) == [0, 0, 1, 1, 2]
+
+    def test_indices_within_line_collapse(self):
+        obs = self._observer()
+        trace = _trace_with_accesses([1, 7, 14])
+        assert obs.observed_set(trace) == frozenset({0})
+
+    def test_indices_to_observation_matches_trace_view(self):
+        obs = self._observer()
+        trace = _trace_with_accesses([3, 17, 40])
+        assert obs.indices_to_observation([3, 17, 40]) == obs.observed_set(trace)
+
+
+class TestGroundTruthCoarsening:
+    def test_word_granularity_is_identity(self):
+        obs = SideChannelObserver("g_star")
+        assert obs.indices_to_observation([1, 2, 3]) == frozenset({1, 2, 3})
+
+    def test_accepts_numpy_ints(self):
+        import numpy as np
+
+        obs = SideChannelObserver("g_star")
+        assert obs.indices_to_observation(np.asarray([4, 5])) == frozenset({4, 5})
