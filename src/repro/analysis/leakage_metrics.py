@@ -30,7 +30,7 @@ from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from ..sgx.memory import Trace
+from ..sgx.memory import OP_READ, Trace
 
 
 def _entropy(counts: Counter) -> float:
@@ -134,21 +134,30 @@ class TraceSummary:
 
 
 def trace_summary(trace: Trace) -> TraceSummary:
-    """Per-region access statistics of a trace."""
-    regions: Counter = Counter()
-    distinct: dict[str, set[int]] = {}
-    reads = writes = 0
-    for access in trace:
-        regions[access.region] += 1
-        distinct.setdefault(access.region, set()).add(access.offset)
-        if access.op == "read":
-            reads += 1
-        else:
-            writes += 1
+    """Per-region access statistics of a trace (columnar, one pass)."""
+    rids, offs, ops = trace.columns()
+    names = trace.region_names
+    reads = int((ops == OP_READ).sum())
+    counts = np.bincount(rids, minlength=len(names))
+    # Distinct offsets per region: unique (region, offset) pairs, then
+    # count pairs per region.
+    regions: dict[str, int] = {}
+    distinct_offsets: dict[str, int] = {}
+    if len(rids):
+        pairs = np.unique(
+            np.stack([rids.astype(np.int64), offs.astype(np.int64)], axis=1),
+            axis=0,
+        )
+        distinct_counts = np.bincount(pairs[:, 0], minlength=len(names))
+        # Report regions in first-appearance order, like a scan would.
+        uniq, first = np.unique(rids, return_index=True)
+        for rid in uniq[np.argsort(first, kind="stable")].tolist():
+            regions[names[rid]] = int(counts[rid])
+            distinct_offsets[names[rid]] = int(distinct_counts[rid])
     return TraceSummary(
         total_accesses=len(trace),
         reads=reads,
-        writes=writes,
-        regions=dict(regions),
-        distinct_offsets={r: len(s) for r, s in distinct.items()},
+        writes=len(trace) - reads,
+        regions=regions,
+        distinct_offsets=distinct_offsets,
     )

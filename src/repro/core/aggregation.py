@@ -2,12 +2,20 @@
 
 Four aggregators, each in two interchangeable implementations:
 
-* a **traced** implementation that runs element-at-a-time against
-  :class:`repro.sgx.memory.TracedArray` regions, producing the exact
-  adversary-visible access pattern (used by the security analysis, the
-  attack evaluation, and the obliviousness property tests);
+* a **traced** implementation producing the exact adversary-visible
+  access pattern against the :class:`repro.sgx.memory.Trace` regions
+  (used by the security analysis, the attack evaluation, and the
+  obliviousness property tests);
 * a **fast** implementation (numpy-vectorized, same arithmetic and the
   same asymptotic work) used by the wall-clock benchmarks.
+
+The traced implementations are *batched*: they compute on numpy columns
+and append whole access blocks to the trace (the columnar engine of
+:mod:`repro.sgx.memory`), producing byte-for-byte the access sequence
+of the original element-at-a-time formulation -- the trace-equivalence
+regression tests pin this against a reference recorder.  This makes the
+traced path 1-2 orders of magnitude faster, so the security experiments
+scale with n, k, and d almost like the fast path does.
 
 Algorithms:
 
@@ -40,10 +48,9 @@ import numpy as np
 
 from ..fl.client import LocalUpdate
 from ..fl.sparsify import densify
-from ..oblivious.primitives import o_mov
-from ..oblivious.sort import bitonic_sort_numpy, bitonic_sort_traced, next_power_of_two
+from ..oblivious.sort import bitonic_sort_numpy, bitonic_sort_traced_columns, next_power_of_two
 from ..oram.path_oram import PathORAM
-from ..sgx.memory import Trace, TracedArray
+from ..sgx.memory import OP_READ, OP_WRITE, Trace
 
 #: Dummy index written by oblivious folding; larger than any model index.
 M0 = (1 << 31) - 1
@@ -90,23 +97,50 @@ def aggregate_linear_traced(
 
     The scan of ``g`` is fixed-order, but every input weight triggers a
     read+write of ``g_star[index]`` -- the data-dependent accesses of
-    Proposition 3.2 that the attack of Section 4 consumes.
+    Proposition 3.2 that the attack of Section 4 consumes.  Recorded as
+    one batched ``(g read, g_star read, g_star write)`` triple per
+    input weight.
     """
     idx, val = _concat_updates(updates)
     _validate(idx, d)
-    g = TracedArray(G_REGION, list(zip(idx.tolist(), val.tolist())),
-                    trace=trace, itemsize=8)
-    g_star = TracedArray.zeros(G_STAR_REGION, d, trace=trace, itemsize=4)
-    for pos in range(len(g)):
-        index, value = g.read(pos)
-        current = g_star.read(index)
-        g_star.write(index, current + value)
-    return np.asarray(g_star.snapshot(), dtype=np.float64)
+    nk = len(idx)
+    if trace is not None and nk:
+        g_id = trace.region_id(G_REGION)
+        gstar_id = trace.region_id(G_STAR_REGION)
+        offs = np.empty((nk, 3), dtype=np.int64)
+        offs[:, 0] = np.arange(nk)
+        offs[:, 1] = idx
+        offs[:, 2] = idx
+        rids = np.tile(
+            np.array([g_id, gstar_id, gstar_id], dtype=np.uint16), nk
+        )
+        ops = np.tile(
+            np.array([OP_READ, OP_READ, OP_WRITE], dtype=np.uint8), nk
+        )
+        trace.record_columns(rids, offs.reshape(-1), ops)
+    g_star = np.zeros(d)
+    np.add.at(g_star, idx, val)  # in-order accumulation, like the scan
+    return g_star
 
 
 # ----------------------------------------------------------------------
 # Baseline (Algorithm 3) -- cacheline-level fully oblivious
 # ----------------------------------------------------------------------
+
+
+def _baseline_targets(
+    idx: np.ndarray, d: int, cacheline_weights: int
+) -> np.ndarray:
+    """Per-input sweep targets: one touched weight per cacheline.
+
+    Row ``p`` holds, for input weight ``p``, the ``g_star`` offsets the
+    sweep touches -- the position congruent to ``idx[p] mod c`` in each
+    line, with the final partial line clamped to ``d - 1`` so every
+    input sweeps the same lines.
+    """
+    n_lines = (d + cacheline_weights - 1) // cacheline_weights
+    lines = np.arange(n_lines, dtype=np.int64) * cacheline_weights
+    return np.minimum(lines[None, :] + (idx % cacheline_weights)[:, None], d - 1)
 
 
 def aggregate_baseline(
@@ -144,24 +178,49 @@ def aggregate_baseline_traced(
     index modulo c); the true update is merged in registers via
     ``o_mov``.  Word-level addresses depend on ``index mod c`` only,
     so the cacheline-level trace is input-independent (Prop. 5.1).
+    Each input weight's ``g`` read plus interleaved read/write sweep of
+    ``g_star`` is appended as one block.
     """
     idx, val = _concat_updates(updates)
     _validate(idx, d)
-    g = TracedArray(G_REGION, list(zip(idx.tolist(), val.tolist())),
-                    trace=trace, itemsize=8)
-    g_star = TracedArray.zeros(G_STAR_REGION, d, trace=trace, itemsize=4)
-    n_lines = (d + cacheline_weights - 1) // cacheline_weights
-    for pos in range(len(g)):
-        index, value = g.read(pos)
-        offset = index % cacheline_weights
-        for line in range(n_lines):
-            # Touch exactly one weight per cacheline; the final partial
-            # line is clamped so every input sweeps the same lines.
-            target = min(line * cacheline_weights + offset, d - 1)
-            current = g_star.read(target)
-            flag = target == index
-            g_star.write(target, o_mov(flag, current + value, current))
-    return np.asarray(g_star.snapshot(), dtype=np.float64)
+    nk = len(idx)
+    g_star = np.zeros(d)
+    if nk == 0:
+        return g_star
+    targets = _baseline_targets(idx, d, cacheline_weights)
+    n_lines = targets.shape[1]
+    if trace is not None:
+        g_id = trace.region_id(G_REGION)
+        gstar_id = trace.region_id(G_STAR_REGION)
+        # Per input weight: (g, pos, read) then per line
+        # (g_star, target, read), (g_star, target, write).
+        width = 1 + 2 * n_lines
+        offs = np.empty((nk, width), dtype=np.int64)
+        offs[:, 0] = np.arange(nk)
+        offs[:, 1::2] = targets
+        offs[:, 2::2] = targets
+        rids_row = np.full(width, gstar_id, dtype=np.uint16)
+        rids_row[0] = g_id
+        ops_row = np.empty(width, dtype=np.uint8)
+        ops_row[0] = OP_READ
+        ops_row[1::2] = OP_READ
+        ops_row[2::2] = OP_WRITE
+        trace.record_columns(
+            np.tile(rids_row, nk), offs.reshape(-1), np.tile(ops_row, nk)
+        )
+    # The o_mov merge changes only the true index's weight.  A clamped
+    # final line can make the sweep hit ``d - 1`` more than once for
+    # index d-1; replicate the per-hit sequential adds exactly.
+    hits_per_input = (targets == idx[:, None]).sum(axis=1)
+    if np.all(hits_per_input == 1):
+        np.add.at(g_star, idx, val)
+    else:
+        for index, value, hits in zip(
+            idx.tolist(), val.tolist(), hits_per_input.tolist()
+        ):
+            for _ in range(hits):
+                g_star[index] = g_star[index] + value
+    return g_star
 
 
 # ----------------------------------------------------------------------
@@ -191,15 +250,18 @@ def _fold_sorted(idx: np.ndarray, val: np.ndarray) -> tuple[np.ndarray, np.ndarr
     return out_idx, out_val
 
 
-def aggregate_advanced(updates: Sequence[LocalUpdate], d: int) -> np.ndarray:
-    """Fast Advanced aggregation (Algorithm 4, stage-vectorized).
+def _advanced_core(
+    idx: np.ndarray, val: np.ndarray, d: int, trace: Trace | None
+) -> np.ndarray:
+    """Algorithm 4 on numpy columns, optionally recording the trace.
 
     initialization -> bitonic sort by index -> folding -> bitonic sort
-    -> first d values.  Identical network and arithmetic to the traced
-    version; validated against it in the test suite.
+    -> first d values.  With a trace, every phase appends its accesses
+    in batches: the fill and output scans as contiguous blocks, each
+    sort stage as one comparator batch, and the folding pass as the
+    ``read 0, (read pos, write pos-1)..., write m-1`` stream -- the
+    exact sequence of the element-at-a-time formulation.
     """
-    idx, val = _concat_updates(updates)
-    _validate(idx, d)
     base = len(idx) + d
     m = next_power_of_two(base)
     work_idx = np.full(m, M0, dtype=np.int64)
@@ -207,62 +269,64 @@ def aggregate_advanced(updates: Sequence[LocalUpdate], d: int) -> np.ndarray:
     work_idx[: len(idx)] = idx
     work_val[: len(val)] = val
     work_idx[len(idx) : base] = np.arange(d)  # zero-valued initialization
-    bitonic_sort_numpy(work_idx, work_val)
+
+    # Initialization (lines 1-3): inputs, d zero-valued weights, padding.
+    if trace is not None:
+        trace.record_block(G_REGION, 0, m, "write")
+
+    # First oblivious sort by index (lines 4-5).
+    bitonic_sort_traced_columns(trace, G_REGION, work_idx, work_val)
+
+    # Oblivious folding (lines 6-14): one linear pass whose conditional
+    # carry/flush happens in registers; the trace is read 0, then
+    # (read pos, write pos-1) pairs, then the final write of m-1.
+    if trace is not None:
+        offs = np.empty(2 * m, dtype=np.int64)
+        ops = np.empty(2 * m, dtype=np.uint8)
+        offs[0] = 0
+        ops[0] = OP_READ
+        offs[1 : 2 * m - 1 : 2] = np.arange(1, m)
+        ops[1 : 2 * m - 1 : 2] = OP_READ
+        offs[2 : 2 * m - 1 : 2] = np.arange(0, m - 1)
+        ops[2 : 2 * m - 1 : 2] = OP_WRITE
+        offs[2 * m - 1] = m - 1
+        ops[2 * m - 1] = OP_WRITE
+        trace.record_batch(G_REGION, offs, ops)
     folded_idx, folded_val = _fold_sorted(work_idx, work_val)
-    bitonic_sort_numpy(folded_idx, folded_val)
+
+    # Second oblivious sort (lines 15-16) and output (line 17).
+    bitonic_sort_traced_columns(trace, G_REGION, folded_idx, folded_val)
+    if trace is not None:
+        trace.record_block(G_REGION, 0, d, "read")
     if not np.array_equal(folded_idx[:d], np.arange(d)):
         raise AssertionError("folding lost a model index")
     return folded_val[:d].copy()
 
 
+def aggregate_advanced(updates: Sequence[LocalUpdate], d: int) -> np.ndarray:
+    """Fast Advanced aggregation (Algorithm 4, stage-vectorized).
+
+    Identical network and arithmetic to the traced version (same core,
+    no trace); validated against it in the test suite.
+    """
+    idx, val = _concat_updates(updates)
+    _validate(idx, d)
+    return _advanced_core(idx, val, d, trace=None)
+
+
 def aggregate_advanced_traced(
     updates: Sequence[LocalUpdate], d: int, trace: Trace
 ) -> np.ndarray:
-    """Traced Advanced aggregation (Algorithm 4, element-at-a-time).
+    """Traced Advanced aggregation (Algorithm 4, batched).
 
     Every phase touches memory in an order fixed by ``nk + d`` alone:
     the fill is linear, both bitonic sorts follow the length-determined
     comparator network, and oblivious folding is one linear pass whose
-    conditional carry/flush happens in registers via ``o_mov``
-    (Prop. 5.2).
+    conditional carry/flush happens in registers (Prop. 5.2).
     """
     idx, val = _concat_updates(updates)
     _validate(idx, d)
-    base = len(idx) + d
-    m = next_power_of_two(base)
-    g = TracedArray.zeros(G_REGION, m, trace=trace, itemsize=8)
-
-    # Initialization (lines 1-3): inputs, d zero-valued weights, padding.
-    for pos in range(len(idx)):
-        g.write(pos, (int(idx[pos]), float(val[pos])))
-    for j in range(d):
-        g.write(len(idx) + j, (j, 0.0))
-    for pos in range(base, m):
-        g.write(pos, (M0, 0.0))
-
-    # First oblivious sort by index (lines 4-5).
-    bitonic_sort_traced(g, key=lambda w: w[0])
-
-    # Oblivious folding (lines 6-14).
-    carry_idx, carry_val = g.read(0)
-    for pos in range(1, m):
-        nxt_idx, nxt_val = g.read(pos)
-        flag = nxt_idx == carry_idx
-        prior = o_mov(flag, (M0, 0.0), (carry_idx, carry_val))
-        g.write(pos - 1, prior)
-        carry_val = o_mov(flag, carry_val + nxt_val, nxt_val)
-        carry_idx = nxt_idx
-    g.write(m - 1, (carry_idx, carry_val))
-
-    # Second oblivious sort (lines 15-16) and output (line 17).
-    bitonic_sort_traced(g, key=lambda w: w[0])
-    out = np.empty(d)
-    for j in range(d):
-        index, value = g.read(j)
-        if index != j:
-            raise AssertionError("folding lost a model index")
-        out[j] = value
-    return out
+    return _advanced_core(idx, val, d, trace)
 
 
 # ----------------------------------------------------------------------

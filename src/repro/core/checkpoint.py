@@ -72,35 +72,34 @@ def load_checkpoint(system: OliveSystem, path: str | Path) -> dict:
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
-    """Serialize a trace to ``.npz`` (region table + packed accesses)."""
-    regions = sorted({a.region for a in trace})
-    region_ids = {r: i for i, r in enumerate(regions)}
-    n = len(trace)
-    region_col = np.empty(n, dtype=np.int32)
-    offset_col = np.empty(n, dtype=np.int64)
-    op_col = np.empty(n, dtype=np.int8)
-    for i, access in enumerate(trace):
-        region_col[i] = region_ids[access.region]
-        offset_col[i] = access.offset
-        op_col[i] = 0 if access.op == "read" else 1
+    """Serialize a trace to ``.npz`` (region table + packed accesses).
+
+    Straight columnar dump: the trace's region ids are remapped onto the
+    sorted-name table the file format uses (stable across interning
+    order), and the offset/op columns are written as-is.
+    """
+    rids, offs, ops = trace.columns()
+    names = trace.region_names
+    present = np.unique(rids).tolist() if len(rids) else []
+    regions = sorted(names[r] for r in present)
+    index = {r: i for i, r in enumerate(regions)}
+    remap = np.zeros(max(len(names), 1), dtype=np.int32)
+    for r in present:
+        remap[r] = index[names[r]]
     np.savez_compressed(
         Path(path),
         regions=json.dumps(regions),
-        region=region_col,
-        offset=offset_col,
-        op=op_col,
+        region=remap[rids.astype(np.int64)],
+        offset=offs.astype(np.int64),
+        op=ops.astype(np.int8),
     )
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Inverse of :func:`save_trace`."""
+    """Inverse of :func:`save_trace` (columnar, no per-access loop)."""
     with np.load(Path(path), allow_pickle=False) as archive:
         regions = json.loads(str(archive["regions"]))
         region_col = archive["region"]
         offset_col = archive["offset"]
         op_col = archive["op"]
-    trace = Trace()
-    for rid, offset, op in zip(region_col, offset_col, op_col):
-        trace.record(regions[int(rid)], int(offset),
-                     "read" if op == 0 else "write")
-    return trace
+    return Trace.from_columns(regions, region_col, offset_col, op_col)

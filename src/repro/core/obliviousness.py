@@ -14,6 +14,10 @@ executable checks used by the property tests and the security analysis:
 * :func:`empirical_statistical_distance` -- estimate the statistical
   distance between trace distributions of a *randomized* algorithm on
   two fixed inputs (used for the shuffle-based components).
+
+All checks operate on the trace's columnar arrays directly; the
+tuple-returning :func:`trace_key` is kept for hashing (distribution
+estimation) and for callers that want a materialized projection.
 """
 
 from __future__ import annotations
@@ -22,7 +26,22 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from ..sgx.memory import Trace
+import numpy as np
+
+from ..sgx.memory import OP_READ, Trace
+
+
+def _coarse_columns(
+    trace: Trace, itemsizes: dict[str, int], line_bytes: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Columns of the trace with offsets coarsened to cachelines."""
+    rids, offs, ops = trace.columns()
+    names = trace.region_names
+    isz = np.array([itemsizes.get(nm, 8) for nm in names], dtype=np.int64)
+    if not len(isz):
+        isz = np.ones(1, dtype=np.int64)
+    coarse = (offs.astype(np.int64) * isz[rids.astype(np.int64)]) // line_bytes
+    return rids, coarse, ops
 
 
 def trace_key(trace: Trace, granularity: str = "word",
@@ -32,18 +51,52 @@ def trace_key(trace: Trace, granularity: str = "word",
         return trace.signature()
     if granularity != "cacheline":
         raise ValueError(f"unknown granularity {granularity!r}")
-    itemsizes = itemsizes or {}
+    rids, coarse, ops = _coarse_columns(trace, itemsizes or {}, line_bytes)
+    names = trace.region_names
+    op_names = ("read", "write")
     return tuple(
-        (a.region, (a.offset * itemsizes.get(a.region, 8)) // line_bytes, a.op)
-        for a in trace
+        (names[r], c, op_names[o])
+        for r, c, o in zip(rids.tolist(), coarse.tolist(), ops.tolist())
     )
 
 
+def _region_translation(a: Trace, b: Trace) -> np.ndarray | None:
+    """Map b's region ids into a's id space; None when untranslatable."""
+    names_a = a.region_names
+    index_a = {nm: i for i, nm in enumerate(names_a)}
+    trans = np.empty(len(b.region_names), dtype=np.int64)
+    for i, nm in enumerate(b.region_names):
+        j = index_a.get(nm)
+        if j is None:
+            trans[i] = -1
+        else:
+            trans[i] = j
+    return trans
+
+
 def traces_equal(a: Trace, b: Trace, granularity: str = "word",
-                 itemsizes: dict[str, int] | None = None) -> bool:
-    """True when two traces are indistinguishable at the granularity."""
-    return trace_key(a, granularity, itemsizes=itemsizes) == trace_key(
-        b, granularity, itemsizes=itemsizes
+                 itemsizes: dict[str, int] | None = None,
+                 line_bytes: int = 64) -> bool:
+    """True when two traces are indistinguishable at the granularity.
+
+    Pure array comparison (no tuple materialization): equivalent to
+    ``trace_key(a, ...) == trace_key(b, ...)`` but linear-time in numpy.
+    """
+    if granularity == "word":
+        return a == b
+    if granularity != "cacheline":
+        raise ValueError(f"unknown granularity {granularity!r}")
+    if len(a) != len(b):
+        return False
+    itemsizes = itemsizes or {}
+    rids_a, coarse_a, ops_a = _coarse_columns(a, itemsizes, line_bytes)
+    rids_b, coarse_b, ops_b = _coarse_columns(b, itemsizes, line_bytes)
+    trans = _region_translation(a, b)
+    rids_b_in_a = trans[rids_b.astype(np.int64)]
+    return (
+        bool(np.array_equal(ops_a, ops_b))
+        and bool(np.array_equal(coarse_a, coarse_b))
+        and bool(np.array_equal(rids_a.astype(np.int64), rids_b_in_a))
     )
 
 
@@ -53,9 +106,17 @@ def trace_distance(a: Trace, b: Trace) -> int:
     0 means identical; any positive value is a concrete distinguisher
     for the adversary.
     """
-    sa, sb = a.signature(), b.signature()
-    common = sum(1 for x, y in zip(sa, sb) if x == y)
-    return max(len(sa), len(sb)) - common
+    rids_a, offs_a, ops_a = a.columns()
+    rids_b, offs_b, ops_b = b.columns()
+    n = min(len(offs_a), len(offs_b))
+    trans = _region_translation(a, b)
+    same = (
+        (offs_a[:n].astype(np.int64) == offs_b[:n].astype(np.int64))
+        & (ops_a[:n] == ops_b[:n])
+        & (rids_a[:n].astype(np.int64) == trans[rids_b[:n].astype(np.int64)])
+    )
+    common = int(same.sum())
+    return max(len(offs_a), len(offs_b)) - common
 
 
 @dataclass
@@ -82,13 +143,14 @@ def check_oblivious(
     :class:`Trace`.  Deterministic algorithms only: a randomized
     algorithm needs :func:`empirical_statistical_distance`.
     """
-    reference = None
+    reference: Trace | None = None
     trial = -1
     for trial, item in enumerate(inputs):
-        key = trace_key(run(item), granularity, itemsizes=itemsizes)
+        trace = run(item)
         if reference is None:
-            reference = key
-        elif key != reference:
+            reference = trace
+        elif not traces_equal(reference, trace, granularity,
+                              itemsizes=itemsizes):
             return ObliviousnessReport(
                 oblivious=False, trials=trial + 1, first_mismatch_trial=trial
             )
@@ -106,15 +168,21 @@ def empirical_statistical_distance(
     """Monte-Carlo total-variation distance between trace distributions.
 
     Runs the (randomized) algorithm ``samples`` times on each input and
-    compares the empirical distributions of trace keys.  0 means the
+    compares the empirical distributions of trace keys (hashed via the
+    canonical columnar digest -- exact, order-sensitive).  0 means the
     samples are indistinguishable; 1 means disjoint support (the
     Linear-on-sparse case of Proposition 3.2).
     """
+    def key(trace: Trace):
+        if granularity == "word":
+            return trace.signature_digest()
+        return trace_key(trace, granularity, itemsizes=itemsizes)
+
     counts_a: Counter = Counter()
     counts_b: Counter = Counter()
     for _ in range(samples):
-        counts_a[trace_key(run(input_a), granularity, itemsizes=itemsizes)] += 1
-        counts_b[trace_key(run(input_b), granularity, itemsizes=itemsizes)] += 1
+        counts_a[key(run(input_a))] += 1
+        counts_b[key(run(input_b))] += 1
     support = set(counts_a) | set(counts_b)
     return 0.5 * sum(
         abs(counts_a[k] / samples - counts_b[k] / samples) for k in support
@@ -131,21 +199,48 @@ def leaked_index_sets(
     of the concatenated gradient vector ``g``).  Accesses to ``region``
     are attributed to the client whose ``g`` segment was being scanned,
     using the interleaving of the Linear algorithm (read g[pos], read
-    g*[idx], write g*[idx]).
+    g*[idx], write g*[idx]).  The attribution never moves backwards:
+    the owning client is the running maximum over ``g`` reads so far,
+    matching a forward scan of the concatenated gradient.
     """
-    sets: list[set[int]] = [set() for _ in range(len(boundaries) - 1)]
-    current_client = -1
-    for access in trace:
-        if access.region == "g" and access.op == "read":
-            pos = access.offset
-            # Find the owning client; boundaries are sorted.
-            while (
-                current_client + 1 < len(boundaries) - 1
-                and pos >= boundaries[current_client + 1]
-            ):
-                current_client += 1
-            if current_client < 0 and pos >= boundaries[0]:
-                current_client = 0
-        elif access.region == region and current_client >= 0:
-            sets[current_client].add(access.offset)
-    return [frozenset(s) for s in sets]
+    n_clients = len(boundaries) - 1
+    sets: list[frozenset[int]] = [frozenset() for _ in range(n_clients)]
+    rids, offs, ops = trace.columns()
+    if not len(offs):
+        return sets
+    g_id = trace.region_index("g")
+    target_id = trace.region_index(region)
+    if g_id is None or target_id is None:
+        return sets
+    bounds = np.asarray(boundaries, dtype=np.int64)
+
+    g_read = (rids == g_id) & (ops == OP_READ)
+    g_pos = np.flatnonzero(g_read)
+    if not len(g_pos):
+        return sets
+    client_at_read = np.searchsorted(
+        bounds, offs[g_pos].astype(np.int64), side="right"
+    ) - 1
+    client_at_read = np.minimum(client_at_read, n_clients - 1)
+    client_at_read = np.maximum.accumulate(client_at_read)
+
+    target_pos = np.flatnonzero(rids == target_id)
+    if not len(target_pos):
+        return sets
+    # Current client at each target access = client of the last g read
+    # at or before it (-1 when none yet).
+    last_read = np.searchsorted(g_pos, target_pos, side="right") - 1
+    valid = last_read >= 0
+    clients = client_at_read[last_read[valid]]
+    offsets = offs[target_pos[valid]].astype(np.int64)
+    keep = clients >= 0
+    clients = clients[keep]
+    offsets = offsets[keep]
+    if not len(clients):
+        return sets
+    pairs = np.unique(np.stack([clients, offsets], axis=1), axis=0)
+    split = np.searchsorted(pairs[:, 0], np.arange(n_clients + 1))
+    return [
+        frozenset(pairs[split[c] : split[c + 1], 1].tolist())
+        for c in range(n_clients)
+    ]

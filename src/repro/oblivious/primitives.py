@@ -71,13 +71,12 @@ def o_access(array, secret_offset: int) -> Any:
 
     The classic linear-scan ORAM-of-last-resort: every element is
     touched, the wanted one is retained via ``o_mov``, so the trace is
-    independent of ``secret_offset``.  O(len(array)) per access; used by
-    the Path ORAM stash and position map (Zerotrace's approach).
+    independent of ``secret_offset``: exactly one read per element, in
+    offset order.  O(len(array)) per access; used by the Path ORAM
+    stash and position map (Zerotrace's approach).
     """
-    result: Any = None
-    first = array.read(0)
-    result = first
-    for i in range(len(array)):
+    result: Any = array.read(0)
+    for i in range(1, len(array)):
         value = array.read(i)
         result = o_mov(i == secret_offset, value, result)
     return result

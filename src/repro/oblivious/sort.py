@@ -6,18 +6,23 @@ the input *length* alone, so applying it with the register-oblivious
 fully oblivious sort: the access trace is the same for every input of a
 given length (the core of the paper's Proposition 5.2 proof).
 
-Two interchangeable implementations are provided:
+Three interchangeable implementations are provided:
 
-* :func:`bitonic_sort_traced` -- element-at-a-time over a
-  :class:`repro.sgx.memory.TracedArray`; every comparator records four
-  accesses (read i, read j, write i, write j).  Used when the adversary
-  trace matters (security tests, the attack evaluation).
-* :func:`bitonic_sort_numpy` -- the same network applied stage-by-stage
-  with vectorized numpy compare-exchanges.  Used by the performance
-  benchmarks where only the result and the (structurally generated)
-  address stream matter.
+* :func:`bitonic_sort_traced` -- over a
+  :class:`repro.sgx.memory.TracedArray` with arbitrary Python elements;
+  every comparator contributes four accesses (read i, read j, write i,
+  write j) to the trace, recorded one network *stage* at a time as a
+  single vectorized append (the comparators within a stage touch
+  disjoint pairs, so batching preserves the exact access sequence).
+* :func:`bitonic_sort_traced_columns` -- the batched oblivious kernel:
+  numpy key/payload columns, stage-vectorized compare-exchanges *and*
+  stage-batched trace recording.  Produces byte-for-byte the same trace
+  as the element-at-a-time formulation while running orders of
+  magnitude faster; used by the traced aggregators.
+* :func:`bitonic_sort_numpy` -- the same network without a trace, for
+  the performance benchmarks.
 
-Both require no padding from callers: non-power-of-two inputs raise,
+All require no padding from callers: non-power-of-two inputs raise,
 because the aggregation algorithms pad with dummy weights themselves
 (the padding *is* part of the algorithm in the paper).
 """
@@ -62,6 +67,52 @@ def bitonic_network(n: int) -> Iterator[tuple[int, int, bool]]:
                     yield i, partner, ascending
             j //= 2
         k *= 2
+
+
+def bitonic_stages(n: int) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """The same comparator schedule, one network stage per item.
+
+    Yields ``(i_lo, i_hi, ascending)`` numpy arrays holding every
+    comparator of one ``(k, j)`` stage, ordered by increasing ``i_lo``
+    -- exactly the order :func:`bitonic_network` enumerates them.
+    Comparators within a stage touch disjoint position pairs, so a
+    stage can be applied (and its accesses recorded) as one batch.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"bitonic network needs a power-of-two length, got {n}")
+    idx = np.arange(n)
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            partner = idx ^ j
+            lower = idx < partner
+            i_lo = idx[lower]
+            i_hi = partner[lower]
+            ascending = (i_lo & k) == 0
+            yield i_lo, i_hi, ascending
+            j //= 2
+        k *= 2
+
+
+def _comparator_offsets(i_lo: np.ndarray, i_hi: np.ndarray) -> np.ndarray:
+    """Flattened ``i, j, i, j`` offset stream of one stage's comparators."""
+    offs = np.empty((len(i_lo), 4), dtype=np.int64)
+    offs[:, 0] = i_lo
+    offs[:, 1] = i_hi
+    offs[:, 2] = i_lo
+    offs[:, 3] = i_hi
+    return offs.reshape(-1)
+
+
+#: Per-comparator op pattern: read i, read j, write i, write j.
+_RRWW = np.array([0, 0, 1, 1], dtype=np.uint8)
+
+
+def _record_stage(trace, region: str, i_lo: np.ndarray, i_hi: np.ndarray) -> None:
+    trace.record_batch(
+        region, _comparator_offsets(i_lo, i_hi), np.tile(_RRWW, len(i_lo))
+    )
 
 
 def odd_even_merge_network(n: int) -> Iterator[tuple[int, int, bool]]:
@@ -119,16 +170,56 @@ def bitonic_sort_traced(
 
     Every comparator reads both elements, computes the order flag in
     registers, and conditionally swaps with ``o_swap``; both elements
-    are always written back, so the trace is length-determined.
+    are always written back, so the trace is length-determined.  The
+    four accesses per comparator are recorded one stage at a time via a
+    batched append -- the recorded sequence is identical to the
+    comparator-at-a-time loop.
     """
     n = len(array)
-    for i, j, ascending in bitonic_network(n):
-        a = array.read(i)
-        b = array.read(j)
-        out_of_order = (key(a) > key(b)) == ascending
-        a, b = o_swap(out_of_order, a, b)
-        array.write(i, a)
-        array.write(j, b)
+    data = array.data
+    trace = array.trace
+    for i_lo, i_hi, ascending in bitonic_stages(n):
+        if trace is not None:
+            _record_stage(trace, array.name, i_lo, i_hi)
+        for i, j, asc in zip(i_lo.tolist(), i_hi.tolist(), ascending.tolist()):
+            a = data[i]
+            b = data[j]
+            out_of_order = (key(a) > key(b)) == asc
+            a, b = o_swap(out_of_order, a, b)
+            data[i] = a
+            data[j] = b
+
+
+def bitonic_sort_traced_columns(
+    trace, region: str, keys: np.ndarray, *payloads: np.ndarray
+) -> None:
+    """Batched oblivious sort over numpy columns, recording into ``trace``.
+
+    Sorts ``keys`` (and permutes each payload identically) with
+    stage-vectorized compare-exchanges while appending each stage's
+    ``read i, read j, write i, write j`` comparator accesses to
+    ``region`` as one batch.  Because comparators within a stage are
+    disjoint, both the data result and the recorded access sequence are
+    identical to the element-at-a-time :func:`bitonic_sort_traced`;
+    ``trace=None`` degrades to a pure :func:`bitonic_sort_numpy`.
+    """
+    n = len(keys)
+    for p in payloads:
+        if len(p) != n:
+            raise ValueError("payload length mismatch")
+    if n == 1:
+        return
+    for i_lo, i_hi, ascending in bitonic_stages(n):
+        if trace is not None:
+            _record_stage(trace, region, i_lo, i_hi)
+        a = keys[i_lo]
+        b = keys[i_hi]
+        swap = (a > b) == ascending
+        sw_lo = i_lo[swap]
+        sw_hi = i_hi[swap]
+        keys[sw_lo], keys[sw_hi] = keys[sw_hi].copy(), keys[sw_lo].copy()
+        for p in payloads:
+            p[sw_lo], p[sw_hi] = p[sw_hi].copy(), p[sw_lo].copy()
 
 
 def bitonic_sort_numpy(keys: np.ndarray, *payloads: np.ndarray) -> None:
@@ -137,34 +228,7 @@ def bitonic_sort_numpy(keys: np.ndarray, *payloads: np.ndarray) -> None:
     ``keys`` drives the comparisons; each payload array is permuted
     identically.  All arrays must share a power-of-two length.
     """
-    n = len(keys)
-    if not is_power_of_two(n):
-        raise ValueError(f"bitonic sort needs a power-of-two length, got {n}")
-    for p in payloads:
-        if len(p) != n:
-            raise ValueError("payload length mismatch")
-    if n == 1:
-        return
-    idx = np.arange(n)
-    k = 2
-    while k <= n:
-        j = k // 2
-        while j >= 1:
-            partner = idx ^ j
-            lower = idx < partner
-            i_lo = idx[lower]
-            i_hi = partner[lower]
-            ascending = (i_lo & k) == 0
-            a = keys[i_lo]
-            b = keys[i_hi]
-            swap = (a > b) == ascending
-            sw_lo = i_lo[swap]
-            sw_hi = i_hi[swap]
-            keys[sw_lo], keys[sw_hi] = keys[sw_hi].copy(), keys[sw_lo].copy()
-            for p in payloads:
-                p[sw_lo], p[sw_hi] = p[sw_hi].copy(), p[sw_lo].copy()
-            j //= 2
-        k *= 2
+    bitonic_sort_traced_columns(None, "", keys, *payloads)
 
 
 def network_access_offsets(n: int) -> np.ndarray:
@@ -175,15 +239,9 @@ def network_access_offsets(n: int) -> np.ndarray:
     exactly the adversary-visible access pattern of the oblivious sort
     and feeds the cycle cost model.
     """
-    pairs = []
-    for i, j, _ in bitonic_network(n):
-        pairs.append((i, j))
-    if not pairs:
+    chunks = [
+        _comparator_offsets(i_lo, i_hi) for i_lo, i_hi, _ in bitonic_stages(n)
+    ]
+    if not chunks:
         return np.empty(0, dtype=np.int64)
-    arr = np.asarray(pairs, dtype=np.int64)
-    out = np.empty(len(arr) * 4, dtype=np.int64)
-    out[0::4] = arr[:, 0]
-    out[1::4] = arr[:, 1]
-    out[2::4] = arr[:, 0]
-    out[3::4] = arr[:, 1]
-    return out
+    return np.concatenate(chunks)

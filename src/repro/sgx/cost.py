@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class CostParameters:
@@ -162,7 +164,15 @@ class CostModel:
         self.pager.reset()
 
     def charge_lines(self, lines: Iterable[int]) -> CostReport:
-        """Charge a stream of cacheline indices; returns the report."""
+        """Charge a stream of cacheline indices; returns the report.
+
+        The LRU replay is inherently sequential; numpy inputs (the
+        trace engine's ``cachelines_array`` / ``network_access_offsets``
+        streams) are converted to plain ints up front, which is several
+        times faster than iterating numpy scalars.
+        """
+        if isinstance(lines, np.ndarray):
+            lines = lines.tolist()
         p = self.params
         lines_per_page = p.page_bytes // p.line_bytes
         report = CostReport()
@@ -196,4 +206,6 @@ class CostModel:
     def charge_addresses(self, byte_addresses: Iterable[int]) -> CostReport:
         """Charge byte addresses (coarsened to cachelines)."""
         line_bytes = self.params.line_bytes
+        if isinstance(byte_addresses, np.ndarray):
+            return self.charge_lines(byte_addresses // line_bytes)
         return self.charge_lines(a // line_bytes for a in byte_addresses)

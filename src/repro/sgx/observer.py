@@ -14,11 +14,18 @@ The central quantity for the attack of Section 4 is, per client, the
 set of offsets of the *aggregation buffer* ``g*`` touched while that
 client's gradient was being folded in; for the non-oblivious Linear
 algorithm that set equals the client's top-k index set.
+
+Projection runs on the trace's columnar arrays (one vectorized coarsen
+plus ``np.unique`` instead of a Python loop per access); the
+list/frozenset return types are unchanged, and ``*_array`` variants
+expose the raw numpy views for bulk consumers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from .memory import Trace
 
@@ -52,19 +59,27 @@ class SideChannelObserver:
             return offset
         return (offset * self.itemsize) // self.config.line_bytes
 
+    def _coarsen_array(self, offsets: np.ndarray) -> np.ndarray:
+        if self.config.granularity == WORD:
+            return offsets
+        return (offsets.astype(np.int64) * self.itemsize) // self.config.line_bytes
+
+    def observed_sequence_array(self, trace: Trace) -> np.ndarray:
+        """Ordered observed offsets/lines as a numpy array."""
+        return self._coarsen_array(trace.offsets_array(self.region))
+
     def observed_sequence(self, trace: Trace) -> list[int]:
         """Ordered (possibly repeating) observed offsets/lines."""
-        return [self._coarsen(o) for o in trace.offsets(self.region)]
+        return self.observed_sequence_array(trace).tolist()
 
     def observed_set(self, trace: Trace) -> frozenset[int]:
         """Distinct observed offsets/lines -- the attack's raw feature."""
-        return frozenset(self.observed_sequence(trace))
+        return frozenset(np.unique(self.observed_sequence_array(trace)).tolist())
 
     def observed_write_set(self, trace: Trace) -> frozenset[int]:
         """Distinct observed *written* offsets/lines."""
-        return frozenset(
-            self._coarsen(o) for o in trace.offsets(self.region, op="write")
-        )
+        offs = self._coarsen_array(trace.offsets_array(self.region, op="write"))
+        return frozenset(np.unique(offs).tolist())
 
     def indices_to_observation(self, indices) -> frozenset[int]:
         """Coarsen a ground-truth index set the way this observer would.
@@ -73,4 +88,7 @@ class SideChannelObserver:
         live in the same feature space as leaked ones (Algorithm 2,
         lines 9-12).
         """
-        return frozenset(self._coarsen(int(i)) for i in indices)
+        arr = np.asarray(list(indices), dtype=np.int64)
+        if arr.size == 0:
+            return frozenset()
+        return frozenset(np.unique(self._coarsen_array(arr)).tolist())
