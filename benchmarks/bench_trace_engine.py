@@ -23,6 +23,7 @@ import time
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.aggregation import (
     G_REGION,
     G_STAR_REGION,
@@ -176,3 +177,70 @@ def test_trace_engine_speedup(benchmark):
     # Columnar storage is far smaller than one object per access.
     for r in series:
         assert r["columnar_bytes"] < r["object_bytes_est"]
+
+
+#: Telemetry may cost at most this fraction of the traced advanced
+#: kernel when disabled (the production default).
+MAX_TELEMETRY_OVERHEAD = 0.02
+
+
+def test_telemetry_overhead_guard():
+    """Disabled telemetry must be unmeasurable on the traced hot loop.
+
+    Bounds the overhead analytically: (number of spans the instrumented
+    Table-1 traced advanced aggregation opens) x (measured cost of one
+    disabled-path span) must stay under 2% of the kernel's own wall
+    time.  The disabled path is one attribute check returning a shared
+    no-op context manager, so this holds with orders of magnitude of
+    margin -- the assert catches anyone adding per-element spans or
+    fattening the disabled path.
+    """
+    updates = make_synthetic_updates(N, K, D, seed=0)
+    tel = obs.get_telemetry()
+    prev_enabled, prev_sinks = tel.enabled, list(tel.sinks)
+    tel.configure(enabled=False, sinks=[])
+    try:
+        def timed_kernel():
+            trace = Trace()
+            t0 = time.perf_counter()
+            aggregate_advanced_traced(updates, D, trace)
+            return time.perf_counter() - t0
+
+        t_kernel = min(timed_kernel() for _ in range(3))
+
+        # How many spans would one such kernel call open when enabled?
+        sink = obs.MemorySink()
+        with obs.session(sinks=[sink], keep_state=True):
+            aggregate_advanced_traced(updates, D, Trace())
+        n_spans = len(sink.spans())
+        assert n_spans >= 1  # the kernel is instrumented
+
+        # Measured cost of the disabled fast path per span and counter.
+        reps = 100_000
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            with obs.span("noop", n=reps):
+                pass
+            obs.add("noop.counter")
+        per_span = (time.perf_counter() - t0) / reps
+
+        overhead = (n_spans * per_span) / t_kernel
+    finally:
+        tel.configure(enabled=prev_enabled, sinks=prev_sinks)
+
+    print_table(
+        "Telemetry no-op overhead on traced advanced "
+        f"(n={N}, k={K}, d={D})",
+        ["kernel s", "spans/call", "noop span s", "overhead", "budget"],
+        [[f"{t_kernel:.4f}", n_spans, f"{per_span:.3g}",
+          f"{overhead:.5%}", f"{MAX_TELEMETRY_OVERHEAD:.0%}"]],
+    )
+    save_results("telemetry_overhead", {
+        "workload": {"n": N, "k": K, "d": D, "quick": QUICK},
+        "kernel_seconds": t_kernel,
+        "spans_per_call": n_spans,
+        "noop_span_seconds": per_span,
+        "overhead_fraction": overhead,
+        "budget_fraction": MAX_TELEMETRY_OVERHEAD,
+    })
+    assert overhead < MAX_TELEMETRY_OVERHEAD

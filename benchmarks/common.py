@@ -15,11 +15,13 @@ paper's full-size workloads did on real SGX hardware.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.olive import OliveConfig, OliveSystem
 from repro.fl.client import TrainingConfig
 from repro.fl.datasets import (
@@ -32,6 +34,17 @@ from repro.fl.models import build_model
 from repro.sgx.cost import CostParameters
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+#: Wall clock starts when the benchmark module imports this helper, so
+#: ``save_results`` can record each run's total wall time.
+_BENCH_T0 = time.perf_counter()
+
+# Setting BENCH_TELEMETRY=1 (the CI default for the quick trace-engine
+# run) turns on global telemetry with an in-memory sink; every bench
+# that calls ``save_results(name, ...)`` then archives its event stream
+# next to its results as ``bench_results/<name>_telemetry.json``.
+if os.environ.get("BENCH_TELEMETRY"):
+    obs.configure(enabled=True, sinks=[obs.MemorySink()])
 
 #: Paper machine scaled 256x down (same ratios: L2:L3:EPC = 1:8:96).
 SCALED_MACHINE = CostParameters(
@@ -75,10 +88,20 @@ def _fmt(value) -> str:
 
 
 def save_results(name: str, payload: dict) -> None:
-    """Persist a benchmark's series under bench_results/<name>.json."""
+    """Persist a benchmark's series under bench_results/<name>.json.
+
+    Every payload additionally records the benchmark's wall time (since
+    this module was imported) and, when telemetry is enabled, the path
+    of the JSONL event stream archived alongside -- making the perf
+    trajectory across PRs machine-readable.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = dict(payload)
     payload["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    payload["wall_seconds"] = round(time.perf_counter() - _BENCH_T0, 3)
+    telemetry_file = obs.dump_jsonl(RESULTS_DIR / f"{name}_telemetry.json")
+    if telemetry_file is not None:
+        payload["telemetry_file"] = telemetry_file
     with open(RESULTS_DIR / f"{name}.json", "w") as f:
         json.dump(payload, f, indent=2, default=str)
 

@@ -17,6 +17,7 @@ Reproduction of Kato, Cao & Yoshikawa (VLDB 2023).  Subpackages:
   / Advanced / PathORAM aggregators, grouping optimization, DO
   alternative, obliviousness verifier, and the OLIVE system.
 * :mod:`repro.attack` -- the sensitive-label inference attack.
+* :mod:`repro.obs` -- telemetry: spans, counters, gauges, sinks.
 
 Quickstart::
 
@@ -31,9 +32,9 @@ Quickstart::
     system.run(rounds=3)
 """
 
-from . import analysis, attack, core, dp, fl, oblivious, oram, sgx
+from . import analysis, attack, core, dp, fl, oblivious, obs, oram, sgx
 
 __version__ = "1.0.0"
 
-__all__ = ["analysis", "attack", "core", "dp", "fl", "oblivious",
+__all__ = ["analysis", "attack", "core", "dp", "fl", "oblivious", "obs",
            "oram", "sgx", "__version__"]

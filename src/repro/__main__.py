@@ -1,12 +1,21 @@
 """``python -m repro`` -- a 30-second tour of OLIVE.
 
 Runs a small federated training with the fully oblivious Advanced
-aggregator, prints the DP budget, and machine-checks obliviousness.
-For the full demos see the ``examples/`` directory.
+aggregator, reports the DP budget, and machine-checks obliviousness.
+Output goes through stdlib :mod:`logging` (module loggers under the
+``repro`` namespace); ``-v``/``--verbose`` raises the level to DEBUG
+and appends the telemetry summary tree of the demo run.  For the full
+demos see the ``examples/`` directory.
 """
+
+import argparse
+import logging
+import sys
+from typing import Sequence
 
 import numpy as np
 
+from . import obs
 from .core import OliveConfig, OliveSystem, traces_equal
 from .fl import (
     SPECS,
@@ -16,10 +25,49 @@ from .fl import (
     partition_clients,
 )
 
+logger = logging.getLogger("repro.demo")
 
-def main() -> None:
-    """Run the quick demo."""
-    print("OLIVE: oblivious and differentially private FL on a simulated TEE")
+
+def _parse_args(argv: Sequence[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Quick OLIVE demo: train, report DP budget, "
+                    "verify obliviousness.",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="DEBUG logging plus the telemetry summary tree",
+    )
+    parser.add_argument(
+        "--telemetry-out", metavar="PATH", default=None,
+        help="write the demo's telemetry event stream to PATH as JSONL",
+    )
+    return parser.parse_args(list(argv))
+
+
+def _configure_logging(verbose: bool) -> None:
+    # force=True rebinds the handler to the *current* sys.stdout so the
+    # demo stays capturable (pytest capsys, redirected pipes).
+    logging.basicConfig(
+        level=logging.DEBUG if verbose else logging.INFO,
+        format="%(message)s",
+        stream=sys.stdout,
+        force=True,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    """Run the quick demo (``argv`` defaults to no flags)."""
+    args = _parse_args(argv if argv is not None else [])
+    _configure_logging(args.verbose)
+
+    sinks: list = [obs.MemorySink()]
+    if args.telemetry_out:
+        sinks.append(obs.JsonlSink(args.telemetry_out))
+
+    logger.info(
+        "OLIVE: oblivious and differentially private FL on a simulated TEE"
+    )
     gen = SyntheticClassData(SPECS["tiny"], seed=0)
     clients = partition_clients(gen, 20, 30, 2, seed=0)
     config = OliveConfig(
@@ -30,26 +78,35 @@ def main() -> None:
     system = OliveSystem(build_model("tiny_mlp", seed=0), clients, config,
                          seed=0)
     x, y = gen.balanced(20, np.random.default_rng(1))
-    print(f"  {len(clients)} clients attested; {system.d}-parameter model")
-    print(f"  accuracy before: {system.evaluate(x, y):.3f}")
-    logs = system.run(4)
-    print(f"  accuracy after 4 rounds: {system.evaluate(x, y):.3f}")
-    print(f"  privacy spent: epsilon = {logs[-1].epsilon:.2f} "
-          f"(delta = {config.delta})")
+    logger.info("  %d clients attested; %d-parameter model",
+                len(clients), system.d)
+    logger.info("  accuracy before: %.3f", system.evaluate(x, y))
 
-    a = system.run_round(traced=True)
-    other = OliveSystem(
-        build_model("tiny_mlp", seed=0),
-        partition_clients(SyntheticClassData(SPECS["tiny"], seed=9),
-                          20, 30, 2, seed=0),
-        config, seed=0,
-    )
-    other.run(4)
-    b = other.run_round(traced=True)
-    print(f"  oblivious aggregation verified: "
-          f"{traces_equal(a.trace, b.trace)} "
-          f"({len(a.trace)} recorded accesses)")
+    with obs.session(sinks=sinks):
+        logs = system.run(4)
+        logger.info("  accuracy after 4 rounds: %.3f",
+                    system.evaluate(x, y))
+        logger.info("  privacy spent: epsilon = %.2f (delta = %g)",
+                    logs[-1].epsilon, config.delta)
+
+        a = system.run_round(traced=True)
+        other = OliveSystem(
+            build_model("tiny_mlp", seed=0),
+            partition_clients(SyntheticClassData(SPECS["tiny"], seed=9),
+                              20, 30, 2, seed=0),
+            config, seed=0,
+        )
+        other.run(4)
+        b = other.run_round(traced=True)
+        logger.info("  oblivious aggregation verified: %s (%d recorded "
+                    "accesses)", traces_equal(a.trace, b.trace),
+                    len(a.trace))
+        summary = obs.render_summary(title="telemetry summary (demo run)")
+
+    logger.debug("%s", summary)
+    if args.telemetry_out:
+        logger.info("  telemetry events written to %s", args.telemetry_out)
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

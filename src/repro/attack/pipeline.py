@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core.olive import OliveRoundLog
 from ..fl.client import TrainingConfig, compute_update
 from ..fl.datasets import ClientData
@@ -75,28 +76,33 @@ def build_teacher(
     rng = np.random.default_rng(config.seed)
     teacher: dict[int, dict[int, list[frozenset[int]]]] = {}
     splits = max(1, config.teacher_samples_per_label)
-    for log in logs:
-        per_label: dict[int, list[frozenset[int]]] = {}
-        for label, x in test_data_by_label.items():
-            shards = np.array_split(np.arange(len(x)), splits)
-            samples = []
-            for shard in shards:
-                if len(shard) == 0:
-                    continue
-                data = ClientData(
-                    client_id=-1,
-                    x=x[shard],
-                    y=np.full(len(shard), label),
-                    label_set=frozenset([label]),
-                )
-                update = compute_update(
-                    model, log.weights_before, data, training, rng
-                )
-                samples.append(
-                    coarsen_indices(update.indices, config.granularity)
-                )
-            per_label[label] = samples
-        teacher[log.round_index] = per_label
+    with obs.span("attack.build_teacher", rounds=len(logs),
+                  labels=len(test_data_by_label), splits=splits):
+        for log in logs:
+            per_label: dict[int, list[frozenset[int]]] = {}
+            with obs.span("attack.teacher_round", round=log.round_index):
+                for label, x in test_data_by_label.items():
+                    shards = np.array_split(np.arange(len(x)), splits)
+                    samples = []
+                    for shard in shards:
+                        if len(shard) == 0:
+                            continue
+                        data = ClientData(
+                            client_id=-1,
+                            x=x[shard],
+                            y=np.full(len(shard), label),
+                            label_set=frozenset([label]),
+                        )
+                        update = compute_update(
+                            model, log.weights_before, data, training, rng
+                        )
+                        samples.append(
+                            coarsen_indices(update.indices,
+                                            config.granularity)
+                        )
+                    obs.add("attack.teacher_samples", len(samples))
+                    per_label[label] = samples
+            teacher[log.round_index] = per_label
     return teacher
 
 
@@ -114,44 +120,57 @@ def run_attack(
     n_labels = len(test_data_by_label)
     dim = feature_dim(d, config.granularity)
 
-    observations = observe_rounds(logs, config.granularity)
-    # Per client: round index -> observed set, only rounds they joined.
-    per_client: dict[int, dict[int, frozenset[int]]] = {}
-    for obs in observations:
-        for cid, observed in obs.observed.items():
-            per_client.setdefault(cid, {})[obs.round_index] = observed
+    attack_span = obs.span("attack.run", method=config.method,
+                           rounds=len(logs), granularity=config.granularity)
+    with attack_span:
+        with obs.span("attack.observe"):
+            observations = observe_rounds(logs, config.granularity)
+        # Per client: round index -> observed set, only rounds joined.
+        per_client: dict[int, dict[int, frozenset[int]]] = {}
+        for round_obs in observations:
+            for cid, observed in round_obs.observed.items():
+                per_client.setdefault(cid, {})[round_obs.round_index] = (
+                    observed
+                )
+        obs.add("attack.clients_observed", len(per_client))
 
-    teacher = build_teacher(logs, model, test_data_by_label, training, config)
+        teacher = build_teacher(logs, model, test_data_by_label, training,
+                                config)
 
-    scores: dict[int, np.ndarray] = {}
-    if config.method == "jac":
-        attack = JacAttack()
-        for cid, by_round in per_client.items():
-            scores[cid] = attack.score(by_round, teacher, n_labels)
-    elif config.method == "nn":
-        attack = NnAttack(
-            hidden=config.nn_hidden, epochs=config.nn_epochs,
-            lr=config.nn_lr, seed=config.seed,
-        )
-        models = attack.fit_round_models(teacher, dim, n_labels)
-        for cid, by_round in per_client.items():
-            scores[cid] = attack.score(by_round, models, dim, n_labels)
-    else:  # nn_single
-        attack = NnSingleAttack(
-            hidden=config.nn_hidden, epochs=config.nn_epochs,
-            lr=config.nn_lr, seed=config.seed,
-        )
-        single_model, rounds = attack.fit(teacher, dim, n_labels)
-        for cid, by_round in per_client.items():
-            scores[cid] = attack.score(by_round, single_model, rounds, dim)
+        scores: dict[int, np.ndarray] = {}
+        with obs.span("attack.score", method=config.method,
+                      clients=len(per_client)):
+            if config.method == "jac":
+                attack = JacAttack()
+                for cid, by_round in per_client.items():
+                    scores[cid] = attack.score(by_round, teacher, n_labels)
+            elif config.method == "nn":
+                attack = NnAttack(
+                    hidden=config.nn_hidden, epochs=config.nn_epochs,
+                    lr=config.nn_lr, seed=config.seed,
+                )
+                models = attack.fit_round_models(teacher, dim, n_labels)
+                for cid, by_round in per_client.items():
+                    scores[cid] = attack.score(by_round, models, dim,
+                                               n_labels)
+            else:  # nn_single
+                attack = NnSingleAttack(
+                    hidden=config.nn_hidden, epochs=config.nn_epochs,
+                    lr=config.nn_lr, seed=config.seed,
+                )
+                single_model, rounds = attack.fit(teacher, dim, n_labels)
+                for cid, by_round in per_client.items():
+                    scores[cid] = attack.score(by_round, single_model,
+                                               rounds, dim)
 
-    inferred: dict[int, np.ndarray] = {}
-    for cid, s in scores.items():
-        known = config.known_label_count
-        if known is not None and cid in true_labels:
-            # Fixed setting: the attacker knows each client's set size.
-            known = len(true_labels[cid])
-        inferred[cid] = decide_labels(s, known_count=known)
+        inferred: dict[int, np.ndarray] = {}
+        with obs.span("attack.decide"):
+            for cid, s in scores.items():
+                known = config.known_label_count
+                if known is not None and cid in true_labels:
+                    # Fixed setting: the attacker knows the set size.
+                    known = len(true_labels[cid])
+                inferred[cid] = decide_labels(s, known_count=known)
 
     return AttackResult(
         inferred=inferred,

@@ -41,11 +41,13 @@ aggregation buffer in region ``"g_star"`` (4-byte weights, c = 16 per
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..fl.client import LocalUpdate
 from ..fl.sparsify import densify
 from ..oblivious.sort import bitonic_sort_numpy, bitonic_sort_traced_columns, next_power_of_two
@@ -60,6 +62,35 @@ WEIGHTS_PER_CACHELINE = 16
 
 G_REGION = "g"
 G_STAR_REGION = "g_star"
+
+
+def _kernel_span(name: str):
+    """Wrap an aggregation kernel in a telemetry span.
+
+    Records input shape and, for traced kernels, the number of accesses
+    the call appended to the trace.  With telemetry disabled the
+    wrapper is one ``enabled()`` check per kernel *call* (never per
+    element), preserving the no-op fast path.
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(updates, d, *args, **kwargs):
+            if not obs.enabled():
+                return fn(updates, d, *args, **kwargs)
+            trace = kwargs.get("trace")
+            if trace is None and args and isinstance(args[0], Trace):
+                trace = args[0]
+            before = len(trace) if trace is not None else 0
+            with obs.span(name, n_updates=len(updates), d=d) as sp:
+                out = fn(updates, d, *args, **kwargs)
+                if trace is not None:
+                    sp.set(trace_accesses=len(trace) - before)
+                return out
+
+        return wrapper
+
+    return deco
 
 
 def _concat_updates(
@@ -83,6 +114,7 @@ def _validate(indices: np.ndarray, d: int) -> None:
 # ----------------------------------------------------------------------
 
 
+@_kernel_span("kernel.linear")
 def aggregate_linear(updates: Sequence[LocalUpdate], d: int) -> np.ndarray:
     """Fast Linear aggregation: plain scatter-add."""
     idx, val = _concat_updates(updates)
@@ -90,6 +122,7 @@ def aggregate_linear(updates: Sequence[LocalUpdate], d: int) -> np.ndarray:
     return densify(idx, val, d)
 
 
+@_kernel_span("kernel.linear_traced")
 def aggregate_linear_traced(
     updates: Sequence[LocalUpdate], d: int, trace: Trace
 ) -> np.ndarray:
@@ -143,6 +176,7 @@ def _baseline_targets(
     return np.minimum(lines[None, :] + (idx % cacheline_weights)[:, None], d - 1)
 
 
+@_kernel_span("kernel.baseline")
 def aggregate_baseline(
     updates: Sequence[LocalUpdate], d: int,
     cacheline_weights: int = WEIGHTS_PER_CACHELINE,
@@ -167,6 +201,7 @@ def aggregate_baseline(
     return g_star
 
 
+@_kernel_span("kernel.baseline_traced")
 def aggregate_baseline_traced(
     updates: Sequence[LocalUpdate], d: int, trace: Trace,
     cacheline_weights: int = WEIGHTS_PER_CACHELINE,
@@ -303,6 +338,7 @@ def _advanced_core(
     return folded_val[:d].copy()
 
 
+@_kernel_span("kernel.advanced")
 def aggregate_advanced(updates: Sequence[LocalUpdate], d: int) -> np.ndarray:
     """Fast Advanced aggregation (Algorithm 4, stage-vectorized).
 
@@ -314,6 +350,7 @@ def aggregate_advanced(updates: Sequence[LocalUpdate], d: int) -> np.ndarray:
     return _advanced_core(idx, val, d, trace=None)
 
 
+@_kernel_span("kernel.advanced_traced")
 def aggregate_advanced_traced(
     updates: Sequence[LocalUpdate], d: int, trace: Trace
 ) -> np.ndarray:
@@ -334,6 +371,7 @@ def aggregate_advanced_traced(
 # ----------------------------------------------------------------------
 
 
+@_kernel_span("kernel.path_oram")
 def aggregate_path_oram(
     updates: Sequence[LocalUpdate], d: int,
     trace: Trace | None = None,

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..fl.client import LocalUpdate
 from ..sgx.memory import Trace
 from .aggregation import aggregate_advanced, aggregate_advanced_traced
@@ -42,10 +43,13 @@ def aggregate_grouped(
     updates: Sequence[LocalUpdate], d: int, group_size: int
 ) -> np.ndarray:
     """Fast grouped-Advanced aggregation."""
-    total = np.zeros(d)
-    for group in split_groups(updates, group_size):
-        total += aggregate_advanced(group, d)
-    return total
+    groups = split_groups(updates, group_size)
+    with obs.span("kernel.grouped", groups=len(groups), d=d,
+                  group_size=group_size):
+        total = np.zeros(d)
+        for group in groups:
+            total += aggregate_advanced(group, d)
+        return total
 
 
 def aggregate_grouped_traced(
@@ -58,7 +62,10 @@ def aggregate_grouped_traced(
     the composite trace depends only on the group sizes -- which the
     adversary already knows (it delivers the ciphertexts).
     """
-    total = np.zeros(d)
-    for group in split_groups(updates, group_size):
-        total += aggregate_advanced_traced(group, d, trace)
-    return total
+    groups = split_groups(updates, group_size)
+    with obs.span("kernel.grouped_traced", groups=len(groups), d=d,
+                  group_size=group_size):
+        total = np.zeros(d)
+        for group in groups:
+            total += aggregate_advanced_traced(group, d, trace)
+        return total

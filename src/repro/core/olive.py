@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..dp.accountant import PrivacyAccountant
 from ..dp.adaptive_clipping import AdaptiveClipper
 from ..fl.client import (
@@ -144,59 +145,100 @@ class OliveSystem:
         weights_before = self.global_weights.copy()
         dropouts = dropouts or set()
 
-        # Line 4: secure sampling inside the enclave.
-        participants = self.enclave.sample_clients(
-            [c.client_id for c in self.clients], self.config.sample_rate
-        )
-        responders = [cid for cid in participants if cid not in dropouts]
-
-        # Lines 6-11: local training, encryption, enclave verification.
-        clip = self.clipper.clip if self.clipper else self.config.training.clip
-        updates: dict[int, LocalUpdate] = {}
-        for cid in responders:
-            update = compute_update(
-                self.model, weights_before, self.clients[cid],
-                self.config.training, self._rng, clip_override=clip,
-            )
-            if self.config.quantize_bits is not None:
-                ciphertext = encrypt_quantized_update(
-                    update, self.client_keys[cid],
-                    self.config.quantize_bits, self._rng,
+        with obs.span(
+            "round", index=len(self.history),
+            aggregator=self.config.aggregator, traced=traced,
+        ):
+            # Line 4: secure sampling inside the enclave.
+            with obs.span("sample"):
+                participants = self.enclave.sample_clients(
+                    [c.client_id for c in self.clients],
+                    self.config.sample_rate,
                 )
-                indices, values = self.enclave.load_quantized_gradient(
-                    cid, ciphertext
+            responders = [cid for cid in participants if cid not in dropouts]
+            obs.add("round.clients_sampled", len(participants))
+            obs.add("round.clients_dropped",
+                    len(participants) - len(responders))
+
+            # Lines 6-11: local training, encryption, enclave verification.
+            clip = (self.clipper.clip if self.clipper
+                    else self.config.training.clip)
+            updates: dict[int, LocalUpdate] = {}
+            for cid in responders:
+                with obs.span("train", client=cid):
+                    update = compute_update(
+                        self.model, weights_before, self.clients[cid],
+                        self.config.training, self._rng, clip_override=clip,
+                    )
+                if self.config.quantize_bits is not None:
+                    with obs.span("upload", client=cid, quantized=True):
+                        ciphertext = encrypt_quantized_update(
+                            update, self.client_keys[cid],
+                            self.config.quantize_bits, self._rng,
+                        )
+                    obs.add("round.upload_bytes",
+                            len(ciphertext.to_bytes()))
+                    with obs.span("decrypt", client=cid):
+                        indices, values = (
+                            self.enclave.load_quantized_gradient(
+                                cid, ciphertext
+                            )
+                        )
+                else:
+                    with obs.span("upload", client=cid, quantized=False):
+                        ciphertext = encrypt_update(
+                            update, self.client_keys[cid]
+                        )
+                    obs.add("round.upload_bytes",
+                            len(ciphertext.to_bytes()))
+                    with obs.span("decrypt", client=cid):
+                        indices, values = self.enclave.load_gradient(
+                            cid, ciphertext
+                        )
+                updates[cid] = LocalUpdate(
+                    client_id=cid,
+                    indices=np.asarray(indices, dtype=np.int64),
+                    values=np.asarray(values, dtype=np.float64),
                 )
-            else:
-                ciphertext = encrypt_update(update, self.client_keys[cid])
-                indices, values = self.enclave.load_gradient(cid, ciphertext)
-            updates[cid] = LocalUpdate(
-                client_id=cid,
-                indices=np.asarray(indices, dtype=np.int64),
-                values=np.asarray(values, dtype=np.float64),
+
+            # Line 12: oblivious aggregation + enclave-private perturbation.
+            trace = self.enclave.trace if traced else None
+            trace_before = len(trace) if trace is not None else 0
+            with obs.span("aggregate", aggregator=self.config.aggregator,
+                          n_updates=len(updates)):
+                aggregate = self._aggregate(list(updates.values()), trace)
+            if trace is not None:
+                obs.add("trace.accesses_recorded",
+                        len(trace) - trace_before)
+                obs.gauge("trace.accesses", len(trace))
+                obs.gauge("trace.nbytes", trace.nbytes)
+            sigma = self.config.noise_multiplier * clip
+            with obs.span("noise", sigma=sigma):
+                noise = np.asarray(self.enclave.gauss_vector(sigma, self.d))
+            denominator = self.config.expected_clients or max(
+                1.0, self.config.sample_rate * len(self.clients)
             )
+            mean_update = (aggregate + noise) / denominator
 
-        # Line 12: oblivious aggregation + enclave-private perturbation.
-        trace = self.enclave.trace if traced else None
-        aggregate = self._aggregate(list(updates.values()), trace)
-        sigma = self.config.noise_multiplier * clip
-        noise = np.asarray(self.enclave.gauss_vector(sigma, self.d))
-        denominator = self.config.expected_clients or max(
-            1.0, self.config.sample_rate * len(self.clients)
-        )
-        mean_update = (aggregate + noise) / denominator
-
-        # Lines 13-14: only the DP update leaves the enclave.
-        self.global_weights = weights_before + self.config.server_lr * mean_update
-        self.model.set_flat(self.global_weights)
-        self.accountant.step()
-        if self.clipper is not None:
-            # Quantile feedback (Andrew et al.): clients report whether
-            # their pre-clip norm fit the bound; the enclave updates C.
-            bits = [
-                int(float(np.linalg.norm(u.values)) <= clip * (1 - 1e-9))
-                for u in updates.values()
-            ]
-            self.clipper.update(bits)
+            # Lines 13-14: only the DP update leaves the enclave.
+            self.global_weights = (
+                weights_before + self.config.server_lr * mean_update
+            )
+            self.model.set_flat(self.global_weights)
+            with obs.span("accountant"):
+                self.accountant.step()
+            obs.gauge("dp.epsilon", self.accountant.epsilon)
+            if self.clipper is not None:
+                # Quantile feedback (Andrew et al.): clients report whether
+                # their pre-clip norm fit the bound; the enclave updates C.
+                with obs.span("clip_update"):
+                    bits = [
+                        int(float(np.linalg.norm(u.values))
+                            <= clip * (1 - 1e-9))
+                        for u in updates.values()
+                    ]
+                    self.clipper.update(bits)
+                obs.gauge("dp.clip", self.clipper.clip)
 
         log = OliveRoundLog(
             round_index=len(self.history),

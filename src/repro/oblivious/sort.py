@@ -33,6 +33,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from .. import obs
 from .primitives import o_swap
 
 
@@ -178,16 +179,18 @@ def bitonic_sort_traced(
     n = len(array)
     data = array.data
     trace = array.trace
-    for i_lo, i_hi, ascending in bitonic_stages(n):
-        if trace is not None:
-            _record_stage(trace, array.name, i_lo, i_hi)
-        for i, j, asc in zip(i_lo.tolist(), i_hi.tolist(), ascending.tolist()):
-            a = data[i]
-            b = data[j]
-            out_of_order = (key(a) > key(b)) == asc
-            a, b = o_swap(out_of_order, a, b)
-            data[i] = a
-            data[j] = b
+    with obs.span("kernel.bitonic_sort", n=n, traced=trace is not None):
+        for i_lo, i_hi, ascending in bitonic_stages(n):
+            if trace is not None:
+                _record_stage(trace, array.name, i_lo, i_hi)
+            for i, j, asc in zip(i_lo.tolist(), i_hi.tolist(),
+                                 ascending.tolist()):
+                a = data[i]
+                b = data[j]
+                out_of_order = (key(a) > key(b)) == asc
+                a, b = o_swap(out_of_order, a, b)
+                data[i] = a
+                data[j] = b
 
 
 def bitonic_sort_traced_columns(
@@ -209,17 +212,18 @@ def bitonic_sort_traced_columns(
             raise ValueError("payload length mismatch")
     if n == 1:
         return
-    for i_lo, i_hi, ascending in bitonic_stages(n):
-        if trace is not None:
-            _record_stage(trace, region, i_lo, i_hi)
-        a = keys[i_lo]
-        b = keys[i_hi]
-        swap = (a > b) == ascending
-        sw_lo = i_lo[swap]
-        sw_hi = i_hi[swap]
-        keys[sw_lo], keys[sw_hi] = keys[sw_hi].copy(), keys[sw_lo].copy()
-        for p in payloads:
-            p[sw_lo], p[sw_hi] = p[sw_hi].copy(), p[sw_lo].copy()
+    with obs.span("kernel.bitonic_sort", n=n, traced=trace is not None):
+        for i_lo, i_hi, ascending in bitonic_stages(n):
+            if trace is not None:
+                _record_stage(trace, region, i_lo, i_hi)
+            a = keys[i_lo]
+            b = keys[i_hi]
+            swap = (a > b) == ascending
+            sw_lo = i_lo[swap]
+            sw_hi = i_hi[swap]
+            keys[sw_lo], keys[sw_hi] = keys[sw_hi].copy(), keys[sw_lo].copy()
+            for p in payloads:
+                p[sw_lo], p[sw_hi] = p[sw_hi].copy(), p[sw_lo].copy()
 
 
 def bitonic_sort_numpy(keys: np.ndarray, *payloads: np.ndarray) -> None:

@@ -1,0 +1,58 @@
+"""Observability for the OLIVE stack: spans, counters, gauges, sinks.
+
+Dependency-free telemetry with a no-op fast path (disabled by
+default).  Typical use::
+
+    from repro import obs
+
+    with obs.session(sinks=[obs.JsonlSink("round_telemetry.jsonl")]):
+        system.run(rounds=2, traced=True)
+    print(obs.render_summary())
+
+Instrumented modules call ``obs.span(...)`` / ``obs.add(...)`` /
+``obs.gauge(...)`` unconditionally; with telemetry disabled these are
+single-attribute-check no-ops, so the hot paths stay unmeasurably
+close to uninstrumented speed (see the overhead guard in
+``benchmarks/bench_trace_engine.py``).
+"""
+
+from .sinks import JsonlSink, MemorySink, NullSink, read_jsonl
+from .summary import dump_jsonl, render_summary, summary_tree
+from .telemetry import (
+    NOOP_SPAN,
+    Span,
+    SpanStats,
+    Telemetry,
+    add,
+    configure,
+    disable,
+    enabled,
+    gauge,
+    get_telemetry,
+    reset,
+    session,
+    span,
+)
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "NOOP_SPAN",
+    "NullSink",
+    "Span",
+    "SpanStats",
+    "Telemetry",
+    "add",
+    "configure",
+    "disable",
+    "dump_jsonl",
+    "enabled",
+    "gauge",
+    "get_telemetry",
+    "read_jsonl",
+    "render_summary",
+    "reset",
+    "session",
+    "span",
+    "summary_tree",
+]

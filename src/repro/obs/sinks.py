@@ -1,0 +1,104 @@
+"""Telemetry sinks: where finished-span and snapshot events go.
+
+The sink contract is three methods -- ``emit(event: dict)``,
+``flush()``, ``close()`` -- called under the telemetry lock, so sinks
+need no synchronization of their own but must keep ``emit`` cheap.
+
+* :class:`MemorySink` -- in-process event list (tests, summary dumps).
+* :class:`JsonlSink` -- one JSON object per line, the machine-readable
+  stream the benchmarks archive next to their results.
+* :class:`NullSink` -- swallows everything (placeholder wiring).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+
+class NullSink:
+    """Discards every event."""
+
+    def emit(self, event: dict) -> None:
+        """Drop the event."""
+
+    def flush(self) -> None:
+        """Nothing to flush."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+
+class MemorySink:
+    """Accumulates events in a list (the test/registry sink)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def flush(self) -> None:
+        """Nothing buffered beyond the list itself."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+    def spans(self) -> list[dict]:
+        """Only the span events, in finish order."""
+        return [e for e in self.events if e.get("type") == "span"]
+
+    def last_values(self, kind: str) -> dict[str, float]:
+        """Latest counter/gauge value per name (``kind`` selects which)."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            if e.get("type") == kind:
+                out[e["name"]] = e["value"]
+        return out
+
+
+class JsonlSink:
+    """Streams events as JSON Lines to ``path`` (created lazily).
+
+    ``append=False`` (default) truncates any previous stream so one
+    benchmark run leaves exactly one coherent event file.
+    """
+
+    def __init__(self, path: str | Path, append: bool = False) -> None:
+        self.path = Path(path)
+        self._mode = "a" if append else "w"
+        self._fh: IO[str] | None = None
+
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, self._mode)
+        return self._fh
+
+    def emit(self, event: dict) -> None:
+        """Write one event as a JSON line."""
+        self._handle().write(json.dumps(event, default=str) + "\n")
+
+    def flush(self) -> None:
+        """Flush the file buffer (touches the file even if empty)."""
+        self._handle().flush()
+
+    def close(self) -> None:
+        """Flush and close the stream."""
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL event stream back into event dicts."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,126 @@
+"""Human-readable and machine-readable views of a telemetry registry.
+
+:func:`render_summary` prints the aggregated span tree (count, wall,
+CPU, optional memory high-water per path) followed by counters and
+gauges -- the "where did the time go" view the CLI and benchmarks show
+on demand.  :func:`dump_jsonl` archives the same registry (plus any
+events captured by attached :class:`~repro.obs.sinks.MemorySink`
+instances) as one JSONL file, the format the CI benchmark artifacts
+use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .sinks import MemorySink
+from .telemetry import Telemetry, get_telemetry
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s * 1e6:.0f}us"
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}GB"
+
+
+def summary_tree(telemetry: Telemetry | None = None) -> dict:
+    """The span registry as a nested dict (children keyed by name)."""
+    tel = telemetry or get_telemetry()
+    root: dict = {"children": {}}
+    for path, stats in tel.span_stats.items():
+        node = root
+        for part in path.split("/"):
+            node = node["children"].setdefault(part, {"children": {}})
+        node["stats"] = {
+            "count": stats.count,
+            "wall_s": stats.wall_s,
+            "cpu_s": stats.cpu_s,
+            "errors": stats.errors,
+            "mem_peak": stats.mem_peak,
+        }
+    return root
+
+
+def render_summary(telemetry: Telemetry | None = None,
+                   title: str = "telemetry summary") -> str:
+    """Render the aggregated spans/counters/gauges as an indented tree."""
+    tel = telemetry or get_telemetry()
+    lines = [title]
+
+    def walk(node: dict, name: str, indent: int) -> None:
+        stats = node.get("stats")
+        if stats is not None:
+            mem = (f"  mem {_fmt_bytes(stats['mem_peak'])}"
+                   if stats["mem_peak"] else "")
+            err = f"  errors {stats['errors']}" if stats["errors"] else ""
+            lines.append(
+                f"{'  ' * indent}{name:<24} x{stats['count']:<5} "
+                f"wall {_fmt_seconds(stats['wall_s']):>9}  "
+                f"cpu {_fmt_seconds(stats['cpu_s']):>9}{mem}{err}"
+            )
+        children = sorted(
+            node["children"].items(),
+            key=lambda kv: -(kv[1].get("stats") or {}).get("wall_s", 0.0),
+        )
+        for child_name, child in children:
+            walk(child, child_name, indent + 1)
+
+    tree = summary_tree(tel)
+    if tree["children"]:
+        lines.append("spans:")
+        for name, child in tree["children"].items():
+            walk(child, name, 1)
+    if tel.counters:
+        lines.append("counters:")
+        for name, value in sorted(tel.counters.items()):
+            lines.append(f"  {name:<40} {value:g}")
+    if tel.gauges:
+        lines.append("gauges:")
+        for name, value in sorted(tel.gauges.items()):
+            lines.append(f"  {name:<40} {value:g}")
+    if len(lines) == 1:
+        lines.append("  (no telemetry recorded)")
+    return "\n".join(lines)
+
+
+def dump_jsonl(path: str | Path,
+               telemetry: Telemetry | None = None) -> str | None:
+    """Archive the registry (and captured events) as one JSONL file.
+
+    Returns the written path, or ``None`` when telemetry is disabled
+    (nothing to archive).  Event order: raw events from any attached
+    :class:`MemorySink` (already in finish order), then one
+    ``span_summary`` event per path, then the counter/gauge snapshot.
+    """
+    tel = telemetry or get_telemetry()
+    if not tel.enabled:
+        return None
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    events: list[dict] = []
+    for sink in tel.sinks:
+        if isinstance(sink, MemorySink):
+            events.extend(sink.events)
+    for span_path, stats in tel.span_stats.items():
+        events.append({
+            "type": "span_summary", "path": span_path,
+            "count": stats.count, "wall_s": stats.wall_s,
+            "cpu_s": stats.cpu_s, "errors": stats.errors,
+            "mem_peak": stats.mem_peak,
+        })
+    events.extend(tel.snapshot_events())
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event, default=str) + "\n")
+    return str(path)

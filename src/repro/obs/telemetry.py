@@ -1,0 +1,347 @@
+"""Structured telemetry: spans, counters, gauges, and a no-op fast path.
+
+The simulator's performance story (Figures 10-12, Table 1) depends on
+knowing *where* a round spends its time -- client training vs ECALL
+decryption vs the oblivious kernel vs cost-model replay.  This module
+is the single instrumentation substrate for the whole stack:
+
+* :func:`span` -- a nested context manager recording wall time, CPU
+  time, and (opt-in) the tracemalloc memory high-water mark of one
+  phase.  Spans know their parents: ``span("round")`` containing
+  ``span("aggregate")`` yields the path ``"round/aggregate"``.
+* :func:`add` / :func:`gauge` -- cumulative counters (accesses
+  recorded, bytes sealed, clients dropped) and last-value gauges
+  (cost-model hit/miss totals).
+* pluggable sinks (:mod:`repro.obs.sinks`) receiving one event dict per
+  finished span plus counter/gauge snapshots on flush.
+
+Telemetry is **disabled by default** and the disabled path is a single
+attribute check: :func:`span` returns a shared no-op context manager
+and :func:`add`/:func:`gauge` return immediately, so instrumented hot
+paths cost nothing measurable (guarded by
+``benchmarks/bench_trace_engine.py::test_telemetry_overhead_guard``).
+Consequently instrumentation sits at *call* granularity (one span per
+kernel invocation, per ECALL, per phase) -- never per element.
+
+Event schema (what sinks receive):
+
+``{"type": "span", "seq": int, "name": str, "path": str, "depth": int,
+"t_start": float, "wall_s": float, "cpu_s": float, "attrs": dict}``
+plus optional ``"mem_peak"`` (bytes, when memory tracking is on) and
+``"error": true`` when the span body raised.  Snapshots emit
+``{"type": "counter"|"gauge", "name": str, "value": float}``; consumers
+of a stream with several snapshots take the last value per name
+(counters are cumulative).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        """Ignore attributes on the disabled path."""
+        return self
+
+
+#: The singleton no-op span (allocation-free disabled fast path).
+NOOP_SPAN = _NoopSpan()
+
+
+@dataclass
+class SpanStats:
+    """Aggregated statistics for every span sharing one path."""
+
+    count: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    errors: int = 0
+    mem_peak: int = 0  # max over instances, bytes
+
+
+class Span:
+    """A live span; use via ``with telemetry.span(name): ...``.
+
+    ``set(**attrs)`` attaches attributes after entry (e.g. a result
+    size known only at the end of the phase).
+    """
+
+    __slots__ = ("_tel", "name", "attrs", "path", "depth", "_t_start",
+                 "_t0_wall", "_t0_cpu", "_mem0")
+
+    def __init__(self, tel: "Telemetry", name: str, attrs: dict) -> None:
+        self._tel = tel
+        self.name = name
+        self.attrs = attrs
+        self.path = name
+        self.depth = 0
+        self._t_start = 0.0
+        self._t0_wall = 0.0
+        self._t0_cpu = 0.0
+        self._mem0 = -1
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach/overwrite attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._tel._stack()
+        if stack:
+            parent = stack[-1]
+            self.path = parent.path + "/" + self.name
+            self.depth = parent.depth + 1
+        stack.append(self)
+        if self._tel._track_memory and tracemalloc.is_tracing():
+            self._mem0 = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+        self._t_start = time.perf_counter() - self._tel._epoch
+        self._t0_wall = time.perf_counter()
+        self._t0_cpu = time.process_time()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        wall = time.perf_counter() - self._t0_wall
+        cpu = time.process_time() - self._t0_cpu
+        mem_peak = -1
+        if self._mem0 >= 0 and tracemalloc.is_tracing():
+            # Peak since the most recent reset_peak (approximate under
+            # nesting: a child span's reset narrows the parent window).
+            mem_peak = max(0, tracemalloc.get_traced_memory()[1] - self._mem0)
+        stack = self._tel._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # unbalanced exit; recover
+            stack.remove(self)
+        self._tel._finish_span(self, wall, cpu, mem_peak,
+                               error=exc_type is not None)
+        return False
+
+
+class Telemetry:
+    """One telemetry domain: registry state plus attached sinks.
+
+    A module-level instance (:func:`get_telemetry`) serves the whole
+    process; tests may build private instances.  All mutation is
+    guarded by one lock; the span stack is thread-local so parallel
+    client runners each get a coherent nesting.
+    """
+
+    def __init__(self, enabled: bool = False, sinks: Sequence[Any] = (),
+                 track_memory: bool = False) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._enabled = False
+        self._track_memory = False
+        self.sinks: list[Any] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.span_stats: dict[str, SpanStats] = {}
+        self._seq = 0
+        self._epoch = time.perf_counter()
+        self.configure(enabled=enabled, sinks=sinks,
+                       track_memory=track_memory)
+
+    # -- state -----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True when spans/counters are being recorded."""
+        return self._enabled
+
+    def configure(self, enabled: bool = True,
+                  sinks: Sequence[Any] | None = None,
+                  track_memory: bool = False) -> "Telemetry":
+        """(Re)configure; keeps accumulated state (see :meth:`reset`)."""
+        self._enabled = enabled
+        if sinks is not None:
+            self.sinks = list(sinks)
+        self._track_memory = track_memory
+        if track_memory and enabled and not tracemalloc.is_tracing():
+            tracemalloc.start()
+        return self
+
+    def reset(self) -> None:
+        """Drop every counter, gauge, span aggregate, and the sequence."""
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.span_stats.clear()
+            self._seq = 0
+            self._epoch = time.perf_counter()
+
+    # -- recording -------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span | _NoopSpan:
+        """Open a span; no-op (and allocation-free) when disabled."""
+        if not self._enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment a cumulative counter."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a last-value-wins gauge."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _finish_span(self, span: Span, wall: float, cpu: float,
+                     mem_peak: int, error: bool) -> None:
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            stats = self.span_stats.get(span.path)
+            if stats is None:
+                stats = self.span_stats[span.path] = SpanStats()
+            stats.count += 1
+            stats.wall_s += wall
+            stats.cpu_s += cpu
+            if error:
+                stats.errors += 1
+            if mem_peak > stats.mem_peak:
+                stats.mem_peak = mem_peak
+            if not self.sinks:
+                return
+            event: dict[str, Any] = {
+                "type": "span", "seq": seq, "name": span.name,
+                "path": span.path, "depth": span.depth,
+                "t_start": round(span._t_start, 9),
+                "wall_s": round(wall, 9), "cpu_s": round(cpu, 9),
+                "attrs": span.attrs,
+            }
+            if mem_peak >= 0:
+                event["mem_peak"] = mem_peak
+            if error:
+                event["error"] = True
+            for sink in self.sinks:
+                sink.emit(event)
+
+    # -- output ----------------------------------------------------------
+    def snapshot_events(self) -> list[dict]:
+        """Current counters and gauges as a list of snapshot events."""
+        with self._lock:
+            return (
+                [{"type": "counter", "name": n, "value": v}
+                 for n, v in sorted(self.counters.items())]
+                + [{"type": "gauge", "name": n, "value": v}
+                   for n, v in sorted(self.gauges.items())]
+            )
+
+    def flush(self, snapshot: bool = True) -> None:
+        """Emit a counter/gauge snapshot (optional) and flush sinks."""
+        if snapshot:
+            for event in self.snapshot_events():
+                for sink in self.sinks:
+                    sink.emit(event)
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        """Flush and close every sink."""
+        self.flush()
+        for sink in self.sinks:
+            sink.close()
+
+
+#: Process-global telemetry instance used by the instrumented modules.
+_GLOBAL = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global :class:`Telemetry` instance."""
+    return _GLOBAL
+
+
+def configure(enabled: bool = True, sinks: Sequence[Any] | None = None,
+              track_memory: bool = False) -> Telemetry:
+    """Configure the global instance; returns it."""
+    return _GLOBAL.configure(enabled=enabled, sinks=sinks,
+                             track_memory=track_memory)
+
+
+def disable() -> None:
+    """Disable the global instance and detach its sinks."""
+    _GLOBAL.configure(enabled=False, sinks=[])
+
+
+def reset() -> None:
+    """Clear the global instance's accumulated state."""
+    _GLOBAL.reset()
+
+
+def span(name: str, **attrs: Any) -> Span | _NoopSpan:
+    """Open a span on the global instance (no-op when disabled)."""
+    if not _GLOBAL._enabled:
+        return NOOP_SPAN
+    return Span(_GLOBAL, name, attrs)
+
+
+def add(name: str, value: float = 1.0) -> None:
+    """Increment a global counter (no-op when disabled)."""
+    if not _GLOBAL._enabled:
+        return
+    _GLOBAL.add(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a global gauge (no-op when disabled)."""
+    if not _GLOBAL._enabled:
+        return
+    _GLOBAL.gauge(name, value)
+
+
+def enabled() -> bool:
+    """Is the global instance recording?"""
+    return _GLOBAL._enabled
+
+
+@contextmanager
+def session(sinks: Sequence[Any] = (), track_memory: bool = False,
+            keep_state: bool = False) -> Iterator[Telemetry]:
+    """Enable global telemetry for one ``with`` block, then restore.
+
+    Starts from a clean registry unless ``keep_state``; flushes a final
+    counter/gauge snapshot to the sinks on exit.  The previous
+    enabled/sink configuration is restored afterwards, so nested tests
+    cannot leak instrumentation into each other.
+    """
+    prev_enabled = _GLOBAL._enabled
+    prev_sinks = list(_GLOBAL.sinks)
+    prev_track = _GLOBAL._track_memory
+    if not keep_state:
+        _GLOBAL.reset()
+    _GLOBAL.configure(enabled=True, sinks=sinks, track_memory=track_memory)
+    try:
+        yield _GLOBAL
+    finally:
+        _GLOBAL.flush()
+        _GLOBAL.configure(enabled=prev_enabled, sinks=prev_sinks,
+                          track_memory=prev_track)

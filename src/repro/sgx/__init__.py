@@ -10,7 +10,14 @@ from .attestation import (
     client_attest,
     measure,
 )
-from .cost import CostModel, CostParameters, CostReport, EpcPager, SetAssociativeCache
+from .cost import (
+    CostModel,
+    CostParameters,
+    CostReport,
+    EpcPager,
+    ReplayStats,
+    SetAssociativeCache,
+)
 from .crypto import (
     AuthenticationError,
     Ciphertext,
@@ -54,6 +61,7 @@ __all__ = [
     "ObserverConfig",
     "Quote",
     "RegionLayout",
+    "ReplayStats",
     "SetAssociativeCache",
     "SideChannelObserver",
     "Trace",

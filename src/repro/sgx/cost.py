@@ -26,6 +26,8 @@ from typing import Iterable
 
 import numpy as np
 
+from .. import obs
+
 
 @dataclass(frozen=True)
 class CostParameters:
@@ -92,6 +94,7 @@ class EpcPager:
         self._resident: dict[int, None] = {}
         self.faults = 0
         self.hits = 0
+        self.cold = 0
 
     def access(self, page: int) -> str:
         """Touch one page; returns ``"hit"``, ``"cold"``, or ``"evict"``.
@@ -113,12 +116,14 @@ class EpcPager:
             self.faults += 1
             return "evict"
         self._resident[page] = None
+        self.cold += 1
         return "cold"
 
     def reset(self) -> None:
         self._resident.clear()
         self.faults = 0
         self.hits = 0
+        self.cold = 0
 
 
 @dataclass
@@ -148,6 +153,46 @@ class CostReport:
         )
 
 
+@dataclass(frozen=True)
+class ReplayStats:
+    """Cumulative replay statistics of one :class:`CostModel`.
+
+    Accumulated across every ``charge_*`` call since the last
+    :meth:`CostModel.reset` -- callers that previously merged per-call
+    :class:`CostReport` objects can read one typed snapshot instead.
+    The same fields feed the telemetry gauges (``cost.*``).
+    """
+
+    accesses: int = 0
+    cycles: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0
+    epc_hits: int = 0
+    epc_cold: int = 0
+    epc_evictions: int = 0
+
+    @property
+    def seconds(self) -> float:
+        """Simulated seconds at the paper machine's 3.8 GHz."""
+        return self.cycles / 3.8e9
+
+    def as_gauges(self) -> dict[str, int]:
+        """Flat ``cost.<field>`` mapping for telemetry gauges."""
+        return {
+            "cost.accesses": self.accesses,
+            "cost.cycles": self.cycles,
+            "cost.l2_hits": self.l2_hits,
+            "cost.l2_misses": self.l2_misses,
+            "cost.l3_hits": self.l3_hits,
+            "cost.l3_misses": self.l3_misses,
+            "cost.epc_hits": self.epc_hits,
+            "cost.epc_cold": self.epc_cold,
+            "cost.epc_evictions": self.epc_evictions,
+        }
+
+
 class CostModel:
     """Charges an address stream through L2 -> L3 -> DRAM/EPC paging."""
 
@@ -157,11 +202,35 @@ class CostModel:
         self.l2 = SetAssociativeCache(p.l2_bytes, p.l2_assoc, p.line_bytes)
         self.l3 = SetAssociativeCache(p.l3_bytes, p.l3_assoc, p.line_bytes)
         self.pager = EpcPager(p.epc_bytes, p.page_bytes)
+        self._total_accesses = 0
+        self._total_cycles = 0
 
     def reset(self) -> None:
         self.l2.reset()
         self.l3.reset()
         self.pager.reset()
+        self._total_accesses = 0
+        self._total_cycles = 0
+
+    @property
+    def stats(self) -> ReplayStats:
+        """Cumulative hit/miss/paging totals since the last reset."""
+        return ReplayStats(
+            accesses=self._total_accesses,
+            cycles=self._total_cycles,
+            l2_hits=self.l2.hits,
+            l2_misses=self.l2.misses,
+            l3_hits=self.l3.hits,
+            l3_misses=self.l3.misses,
+            epc_hits=self.pager.hits,
+            epc_cold=self.pager.cold,
+            epc_evictions=self.pager.faults,
+        )
+
+    def publish_telemetry(self) -> None:
+        """Expose the cumulative stats as ``cost.*`` telemetry gauges."""
+        for name, value in self.stats.as_gauges().items():
+            obs.gauge(name, value)
 
     def charge_lines(self, lines: Iterable[int]) -> CostReport:
         """Charge a stream of cacheline indices; returns the report.
@@ -181,26 +250,32 @@ class CostModel:
         l2 = self.l2
         l3 = self.l3
         pager = self.pager
-        for line in lines:
-            n += 1
-            cycles += p.cycles_per_element_op
-            if l2.access(line):
-                cycles += p.cycles_l2_hit
-                report.l2_hits += 1
-                continue
-            if l3.access(line):
-                cycles += p.cycles_l3_hit
-                report.l3_hits += 1
-                continue
-            report.dram_accesses += 1
-            outcome = pager.access(line // lines_per_page)
-            if outcome == "evict":
-                report.page_faults += 1
-                cycles += p.cycles_epc_page_fault
-            else:
-                cycles += p.cycles_dram
-        report.accesses = n
-        report.cycles = cycles
+        with obs.span("cost.charge") as charge_span:
+            for line in lines:
+                n += 1
+                cycles += p.cycles_per_element_op
+                if l2.access(line):
+                    cycles += p.cycles_l2_hit
+                    report.l2_hits += 1
+                    continue
+                if l3.access(line):
+                    cycles += p.cycles_l3_hit
+                    report.l3_hits += 1
+                    continue
+                report.dram_accesses += 1
+                outcome = pager.access(line // lines_per_page)
+                if outcome == "evict":
+                    report.page_faults += 1
+                    cycles += p.cycles_epc_page_fault
+                else:
+                    cycles += p.cycles_dram
+            report.accesses = n
+            report.cycles = cycles
+            self._total_accesses += n
+            self._total_cycles += cycles
+            charge_span.set(accesses=n, cycles=cycles)
+        if obs.enabled():
+            self.publish_telemetry()
         return report
 
     def charge_addresses(self, byte_addresses: Iterable[int]) -> CostReport:

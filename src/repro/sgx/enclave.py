@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
+from .. import obs
 from . import crypto
 from .attestation import AttestationService, DiffieHellman, Quote, measure
 from .memory import RegionLayout, Trace, TracedArray
@@ -46,6 +47,8 @@ class KeyStore:
     def put(self, client_id: int, key: bytes) -> None:
         """Seal one client's RA key."""
         self._keys[client_id] = key
+        obs.add("enclave.keys_sealed")
+        obs.add("enclave.bytes_sealed", len(key))
 
     def get(self, client_id: int) -> bytes:
         """Retrieve one client's RA key; unknown clients raise."""
@@ -122,6 +125,9 @@ class Enclave:
         self._region_counter += 1
         self.layout.add(name, max(length, 1), itemsize)
         self._allocated_bytes += length * itemsize
+        obs.add("enclave.alloc_bytes", length * itemsize)
+        if self.oversubscribed:
+            obs.add("enclave.epc_oversubscriptions")
         return TracedArray.zeros(name, length, trace=self.trace, itemsize=itemsize)
 
     @property
@@ -148,11 +154,12 @@ class Enclave:
         """Poisson-sample the round's participants inside the enclave."""
         if not 0.0 < rate <= 1.0:
             raise ValueError("sampling rate must be in (0, 1]")
-        sampled = [cid for cid in population if self._rng.random() < rate]
-        if not sampled:
-            # Guarantee progress on tiny populations: resample one client.
-            sampled = [population[self._rng.randrange(len(population))]]
-        self._sampled = set(sampled)
+        with obs.span("ecall.sample_clients", population=len(population)):
+            sampled = [cid for cid in population if self._rng.random() < rate]
+            if not sampled:
+                # Guarantee progress on tiny populations: resample one.
+                sampled = [population[self._rng.randrange(len(population))]]
+            self._sampled = set(sampled)
         return sampled
 
     @property
@@ -169,36 +176,46 @@ class Enclave:
         fail AE verification, raising :class:`EnclaveSecurityError` --
         the injection defence of Algorithm 1 line 8.
         """
-        if client_id not in self._sampled:
-            raise EnclaveSecurityError(
-                f"client {client_id} was not securely sampled this round"
-            )
-        key = self.keystore.get(client_id)
-        try:
-            payload = crypto.open_sealed(key, ciphertext)
-        except crypto.AuthenticationError as exc:
-            raise EnclaveSecurityError(
-                f"client {client_id}: gradient failed authentication"
-            ) from exc
-        return crypto.decode_sparse_gradient(payload)
+        with obs.span("ecall.load_gradient", client=client_id):
+            if client_id not in self._sampled:
+                obs.add("enclave.gradients_rejected")
+                raise EnclaveSecurityError(
+                    f"client {client_id} was not securely sampled this round"
+                )
+            key = self.keystore.get(client_id)
+            try:
+                payload = crypto.open_sealed(key, ciphertext)
+            except crypto.AuthenticationError as exc:
+                obs.add("enclave.gradients_rejected")
+                raise EnclaveSecurityError(
+                    f"client {client_id}: gradient failed authentication"
+                ) from exc
+            obs.add("enclave.gradients_loaded")
+            obs.add("enclave.bytes_decrypted", len(ciphertext.body))
+            return crypto.decode_sparse_gradient(payload)
 
     def load_quantized_gradient(
         self, client_id: int, ciphertext: crypto.Ciphertext
     ) -> tuple[list[int], list[float]]:
         """Decrypt, verify, and dequantize a compact client upload."""
-        if client_id not in self._sampled:
-            raise EnclaveSecurityError(
-                f"client {client_id} was not securely sampled this round"
-            )
-        key = self.keystore.get(client_id)
-        try:
-            payload = crypto.open_sealed(key, ciphertext)
-        except crypto.AuthenticationError as exc:
-            raise EnclaveSecurityError(
-                f"client {client_id}: gradient failed authentication"
-            ) from exc
-        indices, levels, scale = crypto.decode_quantized_gradient(payload)
-        return indices, [level * scale for level in levels]
+        with obs.span("ecall.load_quantized_gradient", client=client_id):
+            if client_id not in self._sampled:
+                obs.add("enclave.gradients_rejected")
+                raise EnclaveSecurityError(
+                    f"client {client_id} was not securely sampled this round"
+                )
+            key = self.keystore.get(client_id)
+            try:
+                payload = crypto.open_sealed(key, ciphertext)
+            except crypto.AuthenticationError as exc:
+                obs.add("enclave.gradients_rejected")
+                raise EnclaveSecurityError(
+                    f"client {client_id}: gradient failed authentication"
+                ) from exc
+            obs.add("enclave.gradients_loaded")
+            obs.add("enclave.bytes_decrypted", len(ciphertext.body))
+            indices, levels, scale = crypto.decode_quantized_gradient(payload)
+            return indices, [level * scale for level in levels]
 
     # ------------------------------------------------------------------
     # Enclave-private randomness (DP noise must be drawn inside)
@@ -209,7 +226,8 @@ class Enclave:
 
     def gauss_vector(self, sigma: float, length: int) -> list[float]:
         """A vector of enclave-private Gaussian noise."""
-        return [self._rng.gauss(0.0, sigma) for _ in range(length)]
+        with obs.span("ecall.gauss_vector", length=length):
+            return [self._rng.gauss(0.0, sigma) for _ in range(length)]
 
 
 def provision_enclave_with_clients(

@@ -115,6 +115,59 @@ class TestAggregatorEquivalence:
         )
 
 
+class TestTelemetryIntegration:
+    """A traced run must emit the full per-phase span stream."""
+
+    PHASES = {"sample", "train", "upload", "decrypt", "aggregate",
+              "noise", "accountant"}
+
+    def test_traced_run_emits_phase_spans(self, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "round_telemetry.jsonl"
+        _, system = make_system()
+        with obs.session(sinks=[obs.JsonlSink(path)]):
+            system.run(2, traced=True)
+        events = obs.read_jsonl(path)
+
+        spans = [e for e in events if e["type"] == "span"]
+        rounds = [e for e in spans if e["name"] == "round"]
+        assert [e["attrs"]["index"] for e in rounds] == [0, 1]
+
+        # >= 6 distinct phase spans nested under every round.
+        phase_names = {e["name"] for e in spans
+                       if e["path"].startswith("round/")
+                       and e["depth"] == 1}
+        assert self.PHASES <= phase_names
+        for phase in self.PHASES:
+            count = sum(1 for e in spans if e["name"] == phase)
+            assert count >= 2, f"phase {phase} missing from a round"
+
+        # Kernel spans nest under the aggregate phase.
+        assert any(e["path"] == "round/aggregate/kernel.advanced_traced"
+                   for e in spans)
+        # ECALL spans nest under the decrypt phase.
+        assert any(e["path"] == "round/decrypt/ecall.load_gradient"
+                   for e in spans)
+
+        counters = {e["name"]: e["value"] for e in events
+                    if e["type"] == "counter"}
+        assert counters["enclave.gradients_loaded"] >= 2
+        assert counters["trace.accesses_recorded"] > 0
+        gauges = {e["name"]: e["value"] for e in events
+                  if e["type"] == "gauge"}
+        assert gauges["dp.epsilon"] > 0
+        assert gauges["trace.accesses"] > 0
+
+    def test_untraced_run_with_telemetry_disabled_records_nothing(self):
+        from repro import obs
+
+        obs.reset()  # drop state left behind by earlier sessions
+        _, system = make_system()
+        system.run_round()
+        assert obs.get_telemetry().span_stats == {}
+
+
 class TestSecurityProperties:
     def test_advanced_round_traces_identical_across_data(self):
         # Same sampled participants + same k => identical traces even

@@ -1,0 +1,279 @@
+"""Tests for the telemetry subsystem (repro.obs)."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    NOOP_SPAN,
+    NullSink,
+    Telemetry,
+    read_jsonl,
+    render_summary,
+    summary_tree,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global():
+    """Every test starts and ends with disabled, empty global telemetry."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSpans:
+    def test_span_records_wall_and_cpu(self):
+        tel = Telemetry(enabled=True)
+        with tel.span("work"):
+            time.sleep(0.01)
+        stats = tel.span_stats["work"]
+        assert stats.count == 1
+        assert stats.wall_s >= 0.01
+        assert stats.cpu_s >= 0.0
+
+    def test_nesting_builds_paths(self):
+        tel = Telemetry(enabled=True)
+        with tel.span("round"):
+            with tel.span("aggregate"):
+                with tel.span("sort"):
+                    pass
+            with tel.span("aggregate"):
+                pass
+        assert set(tel.span_stats) == {
+            "round", "round/aggregate", "round/aggregate/sort",
+        }
+        assert tel.span_stats["round/aggregate"].count == 2
+
+    def test_sibling_spans_share_parent_path(self):
+        tel = Telemetry(enabled=True)
+        with tel.span("round"):
+            with tel.span("a"):
+                pass
+            with tel.span("b"):
+                pass
+        assert "round/a" in tel.span_stats
+        assert "round/b" in tel.span_stats
+
+    def test_span_event_contains_schema_fields(self):
+        sink = MemorySink()
+        tel = Telemetry(enabled=True, sinks=[sink])
+        with tel.span("phase", foo=1).set(bar=2):
+            pass
+        (event,) = sink.spans()
+        assert event["type"] == "span"
+        assert event["name"] == "phase"
+        assert event["path"] == "phase"
+        assert event["depth"] == 0
+        assert event["wall_s"] >= 0.0
+        assert event["cpu_s"] >= 0.0
+        assert event["attrs"] == {"foo": 1, "bar": 2}
+
+    def test_exception_marks_error_and_propagates(self):
+        sink = MemorySink()
+        tel = Telemetry(enabled=True, sinks=[sink])
+        with pytest.raises(RuntimeError):
+            with tel.span("boom"):
+                raise RuntimeError("x")
+        (event,) = sink.spans()
+        assert event["error"] is True
+        assert tel.span_stats["boom"].errors == 1
+
+    def test_events_ordered_children_first(self):
+        sink = MemorySink()
+        tel = Telemetry(enabled=True, sinks=[sink])
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+        paths = [e["path"] for e in sink.spans()]
+        assert paths == ["outer/inner", "outer"]
+        seqs = [e["seq"] for e in sink.spans()]
+        assert seqs == sorted(seqs)
+
+    def test_thread_local_stacks(self):
+        tel = Telemetry(enabled=True)
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(50):
+                    with tel.span(name):
+                        with tel.span("child"):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for i in range(4):
+            assert tel.span_stats[f"t{i}/child"].count == 50
+
+
+class TestCountersAndGauges:
+    def test_counters_accumulate(self):
+        tel = Telemetry(enabled=True)
+        tel.add("bytes", 10)
+        tel.add("bytes", 5)
+        tel.add("events")
+        assert tel.counters == {"bytes": 15.0, "events": 1.0}
+
+    def test_gauge_last_value_wins(self):
+        tel = Telemetry(enabled=True)
+        tel.gauge("epsilon", 1.0)
+        tel.gauge("epsilon", 2.5)
+        assert tel.gauges == {"epsilon": 2.5}
+
+    def test_flush_emits_snapshot(self):
+        sink = MemorySink()
+        tel = Telemetry(enabled=True, sinks=[sink])
+        tel.add("c", 3)
+        tel.gauge("g", 7)
+        tel.flush()
+        assert sink.last_values("counter") == {"c": 3.0}
+        assert sink.last_values("gauge") == {"g": 7.0}
+
+    def test_reset_clears_state(self):
+        tel = Telemetry(enabled=True)
+        tel.add("c")
+        with tel.span("s"):
+            pass
+        tel.reset()
+        assert not tel.counters and not tel.span_stats
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_shared_noop(self):
+        assert obs.span("anything", x=1) is NOOP_SPAN
+        with obs.span("anything") as sp:
+            sp.set(y=2)  # no-op, must not raise
+        assert obs.get_telemetry().span_stats == {}
+
+    def test_disabled_counters_record_nothing(self):
+        obs.add("c", 5)
+        obs.gauge("g", 1)
+        tel = obs.get_telemetry()
+        assert tel.counters == {} and tel.gauges == {}
+
+    def test_enabled_flag(self):
+        assert not obs.enabled()
+        obs.configure(enabled=True, sinks=[])
+        assert obs.enabled()
+
+    def test_session_restores_previous_state(self):
+        assert not obs.enabled()
+        with obs.session(sinks=[MemorySink()]):
+            assert obs.enabled()
+            obs.add("inside")
+        assert not obs.enabled()
+
+    def test_disabled_span_overhead_is_tiny(self):
+        reps = 20_000
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            with obs.span("noop"):
+                pass
+        per_span = (time.perf_counter() - t0) / reps
+        assert per_span < 50e-6  # loose sanity bound; bench guards 2%
+
+
+class TestSinks:
+    def test_null_sink_swallows(self):
+        tel = Telemetry(enabled=True, sinks=[NullSink()])
+        with tel.span("x"):
+            pass
+        tel.close()  # nothing raised, nothing stored
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        tel = Telemetry(enabled=True, sinks=[sink])
+        with tel.span("round", index=0):
+            with tel.span("aggregate"):
+                pass
+        tel.add("accesses", 42)
+        tel.close()  # flushes one final counter/gauge snapshot
+        events = read_jsonl(path)
+        spans = [e for e in events if e["type"] == "span"]
+        counters = [e for e in events if e["type"] == "counter"]
+        assert [e["path"] for e in spans] == ["round/aggregate", "round"]
+        assert counters == [
+            {"type": "counter", "name": "accesses", "value": 42.0}
+        ]
+        # Every line is standalone JSON.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_jsonl_truncates_by_default(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        for _ in range(2):
+            tel = Telemetry(enabled=True, sinks=[JsonlSink(path)])
+            with tel.span("only"):
+                pass
+            tel.close()
+        assert len(read_jsonl(path)) == 1
+
+    def test_dump_jsonl_archives_registry(self, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        with obs.session(sinks=[MemorySink()]):
+            with obs.span("phase"):
+                pass
+            obs.add("n", 2)
+            out = obs.dump_jsonl(path)
+        assert out == str(path)
+        types = {e["type"] for e in read_jsonl(path)}
+        assert {"span", "span_summary", "counter"} <= types
+
+    def test_dump_jsonl_disabled_returns_none(self, tmp_path):
+        assert obs.dump_jsonl(tmp_path / "never.jsonl") is None
+        assert not (tmp_path / "never.jsonl").exists()
+
+
+class TestSummary:
+    def test_summary_tree_nests(self):
+        tel = Telemetry(enabled=True)
+        with tel.span("round"):
+            with tel.span("aggregate"):
+                pass
+        tree = summary_tree(tel)
+        assert "round" in tree["children"]
+        assert "aggregate" in tree["children"]["round"]["children"]
+        assert tree["children"]["round"]["stats"]["count"] == 1
+
+    def test_render_summary_mentions_everything(self):
+        tel = Telemetry(enabled=True)
+        with tel.span("round"):
+            with tel.span("noise"):
+                pass
+        tel.add("clients", 8)
+        tel.gauge("epsilon", 1.25)
+        text = render_summary(tel)
+        assert "round" in text
+        assert "noise" in text
+        assert "clients" in text
+        assert "epsilon" in text
+        assert "1.25" in text
+
+    def test_render_summary_empty(self):
+        assert "no telemetry recorded" in render_summary(Telemetry())
+
+
+class TestMemoryTracking:
+    def test_span_records_memory_peak(self):
+        tel = Telemetry(enabled=True, sinks=[MemorySink()],
+                        track_memory=True)
+        with tel.span("alloc"):
+            blob = bytearray(4 * 1024 * 1024)
+            del blob
+        assert tel.span_stats["alloc"].mem_peak >= 4 * 1024 * 1024
