@@ -10,7 +10,6 @@ calls "prohibitive".
 """
 
 import numpy as np
-import pytest
 
 from repro.core.do_aggregation import (
     DoParameters,

@@ -15,10 +15,8 @@ Two design decisions the paper discusses:
 import time
 
 import numpy as np
-import pytest
 
 from repro.oblivious.sort import (
-    bitonic_network,
     bitonic_sort_numpy,
     comparator_count,
     odd_even_merge_network,

@@ -13,7 +13,6 @@ algorithm-specific design instead of generic ORAM:
 import time
 
 import numpy as np
-import pytest
 
 from repro.oblivious.primitives import o_access, o_write
 from repro.oblivious.sort import bitonic_sort_numpy

@@ -11,7 +11,6 @@ fix -- the paper's implicit design argument.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.olive import OliveConfig, OliveSystem
 from repro.fl.client import TrainingConfig, local_train, sparsify_delta

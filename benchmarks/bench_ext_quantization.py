@@ -9,7 +9,6 @@ function of quantization bits.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.olive import OliveConfig, OliveSystem
 from repro.fl.client import TrainingConfig

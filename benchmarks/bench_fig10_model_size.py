@@ -13,8 +13,6 @@ tree heights); the extrapolation is marked in the output.
 
 import time
 
-import pytest
-
 from repro.core.aggregation import (
     aggregate_advanced,
     aggregate_baseline,

@@ -7,16 +7,25 @@ thrash the cache/EPC, and an interior optimum h (a few hundred clients
 in the paper, a few here at the scaled sizes) is several times faster
 than the monolithic run.
 
+The sweep runs on the vectorized replay engine fed by the chunked
+numpy stream emitters; the sequential reference replayer is run on a
+sample of the sweep (the U-curve's two extremes and its optimum) and
+its ``ReplayStats`` asserted identical, so the recorded curve is
+backed by both engines.
+
 The functional equivalence of grouped and monolithic aggregation is
 asserted too (the optimization must not change results).
 """
 
 import numpy as np
-import pytest
 
 from repro.core.aggregation import aggregate_advanced
 from repro.core.grouping import aggregate_grouped
-from repro.core.streams import advanced_stream, grouped_stream
+from repro.core.streams import (
+    advanced_stream_chunks,
+    grouped_stream,
+    grouped_stream_chunks,
+)
 from repro.sgx.cost import CostModel, CostParameters
 
 from .common import make_synthetic_updates, print_table, save_results
@@ -40,14 +49,14 @@ def test_fig12_grouping_optimization(benchmark):
     def experiment():
         series = {"h": [], "cycles": [], "page_faults": []}
         for h in H_SWEEP:
-            report = CostModel(MACHINE).charge_lines(
-                grouped_stream(N_CLIENTS, K, D, h)
+            report = CostModel(MACHINE).charge_chunks(
+                grouped_stream_chunks(N_CLIENTS, K, D, h)
             )
             series["h"].append(h)
             series["cycles"].append(report.cycles)
             series["page_faults"].append(report.page_faults)
-        mono = CostModel(MACHINE).charge_lines(
-            advanced_stream(N_CLIENTS * K, D)
+        mono = CostModel(MACHINE).charge_chunks(
+            advanced_stream_chunks(N_CLIENTS * K, D)
         )
         series["monolithic_cycles"] = mono.cycles
         return series
@@ -71,6 +80,20 @@ def test_fig12_grouping_optimization(benchmark):
         aggregate_grouped(updates, D, best_h),
         aggregate_advanced(updates, D),
     )
+
+    # Engine equivalence on a sample of the curve: both replayers must
+    # agree access-for-access at the extremes and the optimum.
+    for h in sorted({H_SWEEP[0], best_h, H_SWEEP[-1]}):
+        vec = CostModel(MACHINE)
+        vec_report = vec.charge_chunks(
+            grouped_stream_chunks(N_CLIENTS, K, D, h)
+        )
+        ref = CostModel(MACHINE, engine="reference")
+        ref_report = ref.charge_lines(grouped_stream(N_CLIENTS, K, D, h))
+        assert vec.stats == ref.stats, (
+            f"h={h}: vectorized ReplayStats diverged from reference"
+        )
+        assert vec_report == ref_report
 
     # Shape: U-curve with an interior optimum beating both extremes.
     costs = series["cycles"]

@@ -6,8 +6,6 @@ surviving top-k indices, and the more successful the attack -- at the
 paper's 0.3% sparsity on CIFAR-100, success approaches 1.0.
 """
 
-import pytest
-
 from repro.attack.pipeline import AttackConfig, chance_top1, run_attack
 
 from .common import print_table, run_traced_fl, save_results

@@ -7,8 +7,6 @@ The paper's sobering observation: central-DP noise perturbs the
 model the local trainings start from).
 """
 
-import pytest
-
 from repro.attack.pipeline import AttackConfig, chance_top1, run_attack
 
 from .common import print_table, run_traced_fl, save_results

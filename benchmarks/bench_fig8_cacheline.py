@@ -6,8 +6,6 @@ slightly lower accuracy than the word-granularity adversary, but the
 attack remains effective -- the known SGX leakage level suffices.
 """
 
-import pytest
-
 from repro.attack.pipeline import AttackConfig, chance_top1, run_attack
 
 from .common import print_table, run_traced_fl, save_results

@@ -15,7 +15,6 @@ OLIVE == CDP  >  Shuffle  >  LDP.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.olive import OliveConfig, OliveSystem
 from repro.dp.ldp import gaussian_ldp_sigma, local_epsilon_for_central

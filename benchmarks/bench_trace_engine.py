@@ -21,7 +21,6 @@ import sys
 import time
 
 import numpy as np
-import pytest
 
 from repro import obs
 from repro.core.aggregation import (

@@ -1,0 +1,149 @@
+"""Benchmark-regression gate for CI.
+
+Compares the ``wall_seconds`` each quick-mode benchmark recorded under
+``bench_results/<name>.json`` against the committed reference in
+``bench_results/baseline.json`` and fails (exit 1) when any bench
+slowed down past the tolerance band: worse than 1.5x the baseline
+(default) *and* past a small absolute grace (default 1 s), so
+sub-second benches are not gated on scheduler jitter.
+
+The committed baseline stores, per bench, the wall seconds measured on
+the reference runner plus a free-form note.  Speed-ups and small
+regressions inside the band pass; the full comparison is always
+written to ``bench_results/regression_report.json`` so CI can upload
+it as an artifact whether the gate passes or not.
+
+Usage::
+
+    python benchmarks/check_regression.py [--tolerance 1.5]
+        [--baseline bench_results/baseline.json]
+        [--results bench_results] [--report <path>]
+
+Besides wall clock, any ``min_`` floor recorded in the baseline is
+enforced on the matching key of the bench's payload (e.g.
+``min_replay_speedup`` gates ``replay_speedup`` in ``fig11.json``),
+letting the gate also catch *model-level* perf regressions that wall
+clock alone would hide behind runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 1.5
+DEFAULT_GRACE_SECONDS = 1.0
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+def compare(
+    baseline: dict, results_dir: Path, tolerance: float,
+    grace: float = DEFAULT_GRACE_SECONDS,
+) -> tuple[list[dict], bool]:
+    """Return (per-bench comparison rows, ok flag)."""
+    rows = []
+    ok = True
+    for name, ref in sorted(baseline.get("benches", {}).items()):
+        row = {"bench": name, "baseline_seconds": ref["wall_seconds"]}
+        path = results_dir / f"{name}.json"
+        if not path.exists():
+            row.update(status="missing", detail=f"{path} not found")
+            ok = False
+            rows.append(row)
+            continue
+        payload = json.loads(path.read_text())
+        current = payload.get("wall_seconds")
+        if current is None:
+            row.update(status="missing", detail="no wall_seconds recorded")
+            ok = False
+            rows.append(row)
+            continue
+        ratio = current / ref["wall_seconds"]
+        row.update(current_seconds=current, ratio=round(ratio, 3))
+        failures = []
+        if ratio > tolerance and current > ref["wall_seconds"] + grace:
+            failures.append(
+                f"wall {current:.2f}s is {ratio:.2f}x baseline "
+                f"{ref['wall_seconds']:.2f}s (tolerance {tolerance}x)"
+            )
+        for key, floor in ref.items():
+            if not key.startswith("min_"):
+                continue
+            metric = key[len("min_"):]
+            value = payload.get(metric)
+            row[metric] = value
+            if value is None:
+                failures.append(f"metric {metric!r} missing from payload")
+            elif value < floor:
+                failures.append(f"{metric} {value} below floor {floor}")
+        if failures:
+            row.update(status="fail", detail="; ".join(failures))
+            ok = False
+        else:
+            row.update(status="ok")
+        rows.append(row)
+    return rows, ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=RESULTS_DIR / "baseline.json"
+    )
+    parser.add_argument("--results", type=Path, default=RESULTS_DIR)
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="slowdown factor that fails the gate "
+             f"(default: baseline's, else {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--grace", type=float, default=None,
+        help="absolute seconds a bench may exceed baseline before the "
+             "ratio gate applies (default: baseline's, else "
+             f"{DEFAULT_GRACE_SECONDS})",
+    )
+    parser.add_argument(
+        "--report", type=Path,
+        default=RESULTS_DIR / "regression_report.json",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = baseline.get("tolerance", DEFAULT_TOLERANCE)
+    grace = args.grace
+    if grace is None:
+        grace = baseline.get("grace_seconds", DEFAULT_GRACE_SECONDS)
+    rows, ok = compare(baseline, args.results, tolerance, grace)
+
+    report = {
+        "baseline": str(args.baseline),
+        "tolerance": tolerance,
+        "grace_seconds": grace,
+        "ok": ok,
+        "benches": rows,
+    }
+    args.report.parent.mkdir(exist_ok=True)
+    args.report.write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max((len(r["bench"]) for r in rows), default=5)
+    for row in rows:
+        line = f"{row['bench']:<{width}}  {row['status']:>7}"
+        if "ratio" in row:
+            line += (
+                f"  {row['current_seconds']:8.2f}s vs"
+                f" {row['baseline_seconds']:8.2f}s  ({row['ratio']:.2f}x)"
+            )
+        if row.get("detail"):
+            line += f"  -- {row['detail']}"
+        print(line)
+    print(f"regression gate: {'PASS' if ok else 'FAIL'}"
+          f" (tolerance {tolerance}x, report: {args.report})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,6 @@ from repro.fl import (
     DatasetSpec,
     SyntheticClassData,
     TrainingConfig,
-    build_model,
     partition_clients,
 )
 from repro.fl.models import Dropout, Linear, ReLU, Sequential

@@ -15,7 +15,7 @@ Pipeline, matching the paper step by step:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -190,7 +190,7 @@ def all_accuracy(
         return 0.0
     hits = sum(
         1 for cid in attacked
-        if frozenset(int(l) for l in inferred[cid]) == true_labels[cid]
+        if frozenset(int(lab) for lab in inferred[cid]) == true_labels[cid]
     )
     return hits / len(attacked)
 

@@ -40,9 +40,13 @@ from .obliviousness import (
 from .olive import OliveConfig, OliveRoundLog, OliveSystem
 from .streams import (
     advanced_stream,
+    advanced_stream_chunks,
     baseline_stream,
+    baseline_stream_chunks,
     grouped_stream,
+    grouped_stream_chunks,
     linear_stream,
+    linear_stream_chunks,
     path_oram_stream,
 )
 
@@ -56,6 +60,7 @@ __all__ = [
     "OliveRoundLog",
     "OliveSystem",
     "advanced_stream",
+    "advanced_stream_chunks",
     "aggregate_advanced",
     "aggregate_advanced_traced",
     "aggregate_baseline",
@@ -67,13 +72,16 @@ __all__ = [
     "aggregate_linear_traced",
     "aggregate_path_oram",
     "baseline_stream",
+    "baseline_stream_chunks",
     "check_oblivious",
     "do_padding_counts",
     "do_padding_overhead",
     "empirical_statistical_distance",
     "grouped_stream",
+    "grouped_stream_chunks",
     "leaked_index_sets",
     "linear_stream",
+    "linear_stream_chunks",
     "load_checkpoint",
     "load_trace",
     "save_checkpoint",

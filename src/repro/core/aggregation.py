@@ -50,7 +50,7 @@ import numpy as np
 from .. import obs
 from ..fl.client import LocalUpdate
 from ..fl.sparsify import densify
-from ..oblivious.sort import bitonic_sort_numpy, bitonic_sort_traced_columns, next_power_of_two
+from ..oblivious.sort import bitonic_sort_traced_columns, next_power_of_two
 from ..oram.path_oram import PathORAM
 from ..sgx.memory import OP_READ, OP_WRITE, Trace
 

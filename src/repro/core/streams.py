@@ -20,7 +20,7 @@ from typing import Iterator
 
 import numpy as np
 
-from ..oblivious.sort import comparator_count, network_access_offsets, next_power_of_two
+from ..oblivious.sort import network_access_offsets, next_power_of_two
 
 G_ITEMSIZE = 8
 G_STAR_ITEMSIZE = 4
@@ -163,4 +163,143 @@ def path_oram_stream(
 STREAMS = {
     "baseline": baseline_stream,
     "advanced": advanced_stream,
+}
+
+
+# ---------------------------------------------------------------------------
+# Chunked numpy emitters
+# ---------------------------------------------------------------------------
+# The generators above yield one Python int per access, which is the
+# bottleneck once the cost-model replay itself is vectorized
+# (``repro.sgx.cost.CostModel.charge_chunks``).  The ``*_stream_chunks``
+# variants below emit the *same* access sequence as int64 numpy arrays
+# of ``chunk_size`` accesses (last chunk short), so trace -> cost model
+# is arrays the whole way.  Equality with the generator order is pinned
+# by tests/test_core_streams.py.
+
+#: Default accesses per emitted chunk; matches the cost model's
+#: internal replay block size so chunks flow through unsplit.
+DEFAULT_CHUNK_ACCESSES = 1 << 19
+
+
+def _rechunk(segments: Iterator[np.ndarray], chunk_size: int) -> Iterator[np.ndarray]:
+    """Re-slice a stream of int64 segments into ``chunk_size`` pieces.
+
+    Yields views into the source segments where possible (a chunk that
+    falls inside one segment is not copied); callers must treat the
+    chunks as read-only.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    buf: list[np.ndarray] = []
+    have = 0
+    for seg in segments:
+        while seg.size:
+            take = min(seg.size, chunk_size - have)
+            buf.append(seg[:take])
+            have += take
+            seg = seg[take:]
+            if have == chunk_size:
+                yield buf[0] if len(buf) == 1 else np.concatenate(buf)
+                buf, have = [], 0
+    if have:
+        yield buf[0] if len(buf) == 1 else np.concatenate(buf)
+
+
+def _linear_segments(nk: int, indices: np.ndarray, block: int) -> Iterator[np.ndarray]:
+    g_lines = _region_lines(nk, _G_LINE_ELEMS)
+    idx = np.asarray(indices, dtype=np.int64)
+    for start in range(0, nk, block):
+        stop = min(start + block, nk)
+        out = np.empty((stop - start, 3), dtype=np.int64)
+        out[:, 0] = np.arange(start, stop, dtype=np.int64) // _G_LINE_ELEMS
+        target = g_lines + idx[start:stop] // _G_STAR_LINE_ELEMS
+        out[:, 1] = target
+        out[:, 2] = target
+        yield out.reshape(-1)
+
+
+def linear_stream_chunks(
+    nk: int, d: int, indices: np.ndarray,
+    chunk_size: int = DEFAULT_CHUNK_ACCESSES,
+) -> Iterator[np.ndarray]:
+    """:func:`linear_stream` as int64 chunks of ``chunk_size`` accesses."""
+    if len(indices) != nk:
+        raise ValueError("indices length must equal nk")
+    block = max(1, chunk_size // 3)
+    yield from _rechunk(_linear_segments(nk, indices, block), chunk_size)
+
+
+def _baseline_segments(nk: int, d: int, block: int) -> Iterator[np.ndarray]:
+    g_lines = _region_lines(nk, _G_LINE_ELEMS)
+    gstar_lines = _region_lines(d, _G_STAR_LINE_ELEMS)
+    # Per input weight: one g touch then (read, write) on every g* line.
+    tail = np.repeat(g_lines + np.arange(gstar_lines, dtype=np.int64), 2)
+    for start in range(0, nk, block):
+        stop = min(start + block, nk)
+        out = np.empty((stop - start, 1 + tail.size), dtype=np.int64)
+        out[:, 0] = np.arange(start, stop, dtype=np.int64) // _G_LINE_ELEMS
+        out[:, 1:] = tail
+        yield out.reshape(-1)
+
+
+def baseline_stream_chunks(
+    nk: int, d: int, chunk_size: int = DEFAULT_CHUNK_ACCESSES
+) -> Iterator[np.ndarray]:
+    """:func:`baseline_stream` as int64 chunks of ``chunk_size`` accesses."""
+    gstar_lines = _region_lines(d, _G_STAR_LINE_ELEMS)
+    block = max(1, chunk_size // (1 + 2 * gstar_lines))
+    yield from _rechunk(_baseline_segments(nk, d, block), chunk_size)
+
+
+def _advanced_segments(nk: int, d: int) -> Iterator[np.ndarray]:
+    m = next_power_of_two(nk + d)
+    yield np.arange(m, dtype=np.int64) // _G_LINE_ELEMS
+    sort_lines = network_access_offsets(m) // _G_LINE_ELEMS
+    yield sort_lines
+    # Folding: read 0, (read pos, write pos-1) pairs, final write.
+    fold = np.empty(2 * m, dtype=np.int64)
+    fold[0] = 0
+    pos = np.arange(1, m, dtype=np.int64)
+    fold[1:-1:2] = pos // _G_LINE_ELEMS
+    fold[2:-1:2] = (pos - 1) // _G_LINE_ELEMS
+    fold[-1] = (m - 1) // _G_LINE_ELEMS
+    yield fold
+    yield sort_lines
+    yield np.arange(d, dtype=np.int64) // _G_LINE_ELEMS
+
+
+def advanced_stream_chunks(
+    nk: int, d: int, chunk_size: int = DEFAULT_CHUNK_ACCESSES
+) -> Iterator[np.ndarray]:
+    """:func:`advanced_stream` as int64 chunks of ``chunk_size`` accesses."""
+    yield from _rechunk(_advanced_segments(nk, d), chunk_size)
+
+
+def _grouped_segments(n: int, k: int, d: int, group_size: int) -> Iterator[np.ndarray]:
+    full_groups, rem = divmod(n, group_size)
+    sizes = [group_size] * full_groups + ([rem] if rem else [])
+    m_max = next_power_of_two(group_size * k + d)
+    acc_base = _region_lines(m_max, _G_LINE_ELEMS)
+    acc_lines = _region_lines(d, _G_STAR_LINE_ELEMS)
+    acc = acc_base + np.arange(acc_lines, dtype=np.int64)
+    for h in sizes:
+        yield from _advanced_segments(h * k, d)
+        yield np.repeat(acc, 2)
+    yield acc
+
+
+def grouped_stream_chunks(
+    n: int, k: int, d: int, group_size: int,
+    chunk_size: int = DEFAULT_CHUNK_ACCESSES,
+) -> Iterator[np.ndarray]:
+    """:func:`grouped_stream` as int64 chunks of ``chunk_size`` accesses."""
+    if group_size < 1:
+        raise ValueError("group size must be positive")
+    yield from _rechunk(_grouped_segments(n, k, d, group_size), chunk_size)
+
+
+STREAM_CHUNKS = {
+    "baseline": baseline_stream_chunks,
+    "advanced": advanced_stream_chunks,
 }

@@ -122,7 +122,7 @@ def assign_label_sets(
         if not fixed:
             size = int(rng.integers(1, labels_per_client + 1))
         chosen = rng.choice(n_labels, size=size, replace=False)
-        sets.append(frozenset(int(l) for l in chosen))
+        sets.append(frozenset(int(lab) for lab in chosen))
     return sets
 
 

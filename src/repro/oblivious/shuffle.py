@@ -11,7 +11,6 @@ collisions, which are negligible for 64-bit keys.
 from __future__ import annotations
 
 import random
-from typing import Callable
 
 import numpy as np
 

@@ -1,7 +1,6 @@
 """Focused tests for the leakage-extraction layer (repro.attack.leakage)."""
 
 import numpy as np
-import pytest
 
 from repro.attack.leakage import (
     RoundObservation,

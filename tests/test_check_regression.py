@@ -1,0 +1,142 @@
+"""Tests for the CI benchmark-regression gate (benchmarks/check_regression.py)."""
+
+import json
+
+from benchmarks.check_regression import compare, main
+
+
+def write_baseline(tmp_path, benches, tolerance=1.5, grace=0.0):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(
+        {"tolerance": tolerance, "grace_seconds": grace, "benches": benches}
+    ))
+    return path
+
+
+def write_result(tmp_path, name, payload):
+    (tmp_path / f"{name}.json").write_text(json.dumps(payload))
+
+
+class TestCompare:
+    def test_pass_speedup_and_small_regression(self, tmp_path):
+        baseline = {"benches": {
+            "fast": {"wall_seconds": 2.0}, "slow": {"wall_seconds": 2.0},
+        }}
+        write_result(tmp_path, "fast", {"wall_seconds": 0.5})
+        write_result(tmp_path, "slow", {"wall_seconds": 2.9})
+        rows, ok = compare(baseline, tmp_path, tolerance=1.5, grace=0.0)
+        assert ok
+        assert {r["bench"]: r["status"] for r in rows} == {
+            "fast": "ok", "slow": "ok",
+        }
+
+    def test_slowdown_past_band_fails(self, tmp_path):
+        baseline = {"benches": {"b": {"wall_seconds": 2.0}}}
+        write_result(tmp_path, "b", {"wall_seconds": 3.1})
+        rows, ok = compare(baseline, tmp_path, tolerance=1.5, grace=0.0)
+        assert not ok
+        assert rows[0]["status"] == "fail"
+        assert "tolerance" in rows[0]["detail"]
+
+    def test_grace_absorbs_tiny_bench_jitter(self, tmp_path):
+        # 3x slowdown on a 0.1 s bench is scheduler noise, not a
+        # regression; the absolute grace keeps the gate quiet.
+        baseline = {"benches": {"tiny": {"wall_seconds": 0.1}}}
+        write_result(tmp_path, "tiny", {"wall_seconds": 0.3})
+        _, ok = compare(baseline, tmp_path, tolerance=1.5, grace=1.0)
+        assert ok
+        _, ok = compare(baseline, tmp_path, tolerance=1.5, grace=0.0)
+        assert not ok
+
+    def test_missing_result_fails(self, tmp_path):
+        baseline = {"benches": {"gone": {"wall_seconds": 1.0}}}
+        rows, ok = compare(baseline, tmp_path, tolerance=1.5)
+        assert not ok
+        assert rows[0]["status"] == "missing"
+
+    def test_missing_wall_seconds_fails(self, tmp_path):
+        baseline = {"benches": {"b": {"wall_seconds": 1.0}}}
+        write_result(tmp_path, "b", {"cycles": 123})
+        rows, ok = compare(baseline, tmp_path, tolerance=1.5)
+        assert not ok
+
+    def test_metric_floor_enforced(self, tmp_path):
+        baseline = {"benches": {
+            "fig": {"wall_seconds": 10.0, "min_replay_speedup": 10.0},
+        }}
+        write_result(
+            tmp_path, "fig", {"wall_seconds": 9.0, "replay_speedup": 12.4}
+        )
+        rows, ok = compare(baseline, tmp_path, tolerance=1.5)
+        assert ok and rows[0]["replay_speedup"] == 12.4
+        write_result(
+            tmp_path, "fig", {"wall_seconds": 9.0, "replay_speedup": 6.0}
+        )
+        rows, ok = compare(baseline, tmp_path, tolerance=1.5)
+        assert not ok
+        assert "below floor" in rows[0]["detail"]
+
+    def test_metric_floor_missing_metric_fails(self, tmp_path):
+        baseline = {"benches": {
+            "fig": {"wall_seconds": 10.0, "min_replay_speedup": 10.0},
+        }}
+        write_result(tmp_path, "fig", {"wall_seconds": 9.0})
+        _, ok = compare(baseline, tmp_path, tolerance=1.5)
+        assert not ok
+
+
+class TestMain:
+    def _run(self, tmp_path, baseline, results):
+        baseline_path = write_baseline(tmp_path, baseline)
+        for name, payload in results.items():
+            write_result(tmp_path, name, payload)
+        report = tmp_path / "report.json"
+        code = main([
+            "--baseline", str(baseline_path),
+            "--results", str(tmp_path),
+            "--report", str(report),
+        ])
+        return code, json.loads(report.read_text())
+
+    def test_exit_zero_and_report_on_pass(self, tmp_path):
+        code, report = self._run(
+            tmp_path,
+            {"b": {"wall_seconds": 1.0}},
+            {"b": {"wall_seconds": 1.1}},
+        )
+        assert code == 0
+        assert report["ok"] is True
+        assert report["benches"][0]["ratio"] == 1.1
+
+    def test_exit_one_and_report_on_regression(self, tmp_path):
+        code, report = self._run(
+            tmp_path,
+            {"b": {"wall_seconds": 1.0}},
+            {"b": {"wall_seconds": 9.0}},
+        )
+        assert code == 1
+        assert report["ok"] is False
+
+    def test_tolerance_from_baseline_file(self, tmp_path):
+        baseline_path = write_baseline(
+            tmp_path, {"b": {"wall_seconds": 1.0}}, tolerance=10.0
+        )
+        write_result(tmp_path, "b", {"wall_seconds": 9.0})
+        report = tmp_path / "report.json"
+        code = main([
+            "--baseline", str(baseline_path),
+            "--results", str(tmp_path),
+            "--report", str(report),
+        ])
+        assert code == 0
+        assert json.loads(report.read_text())["tolerance"] == 10.0
+
+    def test_repo_baseline_names_real_benches(self, tmp_path):
+        # The committed baseline must reference benches that exist and
+        # carry the fig11 speedup floor the acceptance criteria gate.
+        from benchmarks.check_regression import RESULTS_DIR
+
+        baseline = json.loads((RESULTS_DIR / "baseline.json").read_text())
+        assert "fig11" in baseline["benches"]
+        assert baseline["benches"]["fig11"]["min_replay_speedup"] >= 4.0
+        assert baseline["tolerance"] == 1.5

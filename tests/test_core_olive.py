@@ -62,7 +62,7 @@ class TestRounds:
     def test_history_grows(self):
         _, system = make_system()
         system.run(3)
-        assert [l.round_index for l in system.history] == [0, 1, 2]
+        assert [log.round_index for log in system.history] == [0, 1, 2]
 
     def test_untraced_round_has_no_trace(self):
         _, system = make_system()

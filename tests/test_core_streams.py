@@ -14,10 +14,15 @@ from repro.core.aggregation import (
     aggregate_linear_traced,
 )
 from repro.core.streams import (
+    STREAM_CHUNKS,
     advanced_stream,
+    advanced_stream_chunks,
     baseline_stream,
+    baseline_stream_chunks,
     grouped_stream,
+    grouped_stream_chunks,
     linear_stream,
+    linear_stream_chunks,
     path_oram_stream,
 )
 from repro.fl.client import LocalUpdate
@@ -97,6 +102,86 @@ class TestStreamValidation:
         assert len(stream) > 4 * 2
 
 
+class TestChunkedEmitters:
+    """The numpy chunk emitters must reproduce the Python generators'
+    access order exactly, element for element, at any chunk size --
+    they are the same stream, packaged as arrays."""
+
+    @staticmethod
+    def _concat(chunks):
+        parts = [np.asarray(c) for c in chunks]
+        assert all(p.ndim == 1 for p in parts)
+        return np.concatenate(parts) if parts else np.empty(0, np.int64)
+
+    def _pin(self, gen, chunked, chunk_size):
+        expected = np.fromiter(gen, dtype=np.int64)
+        got = self._concat(chunked)
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, expected)
+        return chunk_size
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 97, 10_000])
+    def test_linear_chunks_pin_generator_order(self, chunk_size):
+        rng = np.random.default_rng(5)
+        nk, d = 60, 128
+        indices = rng.integers(0, d, size=nk)
+        self._pin(
+            linear_stream(nk, d, indices),
+            linear_stream_chunks(nk, d, indices, chunk_size=chunk_size),
+            chunk_size,
+        )
+
+    @pytest.mark.parametrize("chunk_size", [1, 311, 10_000])
+    def test_baseline_chunks_pin_generator_order(self, chunk_size):
+        nk, d = 48, 96
+        self._pin(
+            baseline_stream(nk, d),
+            baseline_stream_chunks(nk, d, chunk_size=chunk_size),
+            chunk_size,
+        )
+
+    @pytest.mark.parametrize("chunk_size", [97, 1024, 100_000])
+    def test_advanced_chunks_pin_generator_order(self, chunk_size):
+        nk, d = 96, 160
+        self._pin(
+            advanced_stream(nk, d),
+            advanced_stream_chunks(nk, d, chunk_size=chunk_size),
+            chunk_size,
+        )
+
+    @pytest.mark.parametrize("group_size", [1, 3, 5])
+    def test_grouped_chunks_pin_generator_order(self, group_size):
+        n, k, d = 5, 4, 32
+        self._pin(
+            grouped_stream(n, k, d, group_size),
+            grouped_stream_chunks(n, k, d, group_size, chunk_size=777),
+            777,
+        )
+
+    def test_chunk_sizes_respected(self):
+        chunks = list(baseline_stream_chunks(16, 64, chunk_size=100))
+        assert all(c.size == 100 for c in chunks[:-1])
+        assert 0 < chunks[-1].size <= 100
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            list(baseline_stream_chunks(4, 16, chunk_size=0))
+
+    def test_linear_chunks_require_matching_indices(self):
+        with pytest.raises(ValueError):
+            list(linear_stream_chunks(5, 10, np.asarray([1, 2])))
+
+    def test_grouped_chunks_invalid_group(self):
+        with pytest.raises(ValueError):
+            list(grouped_stream_chunks(4, 2, 8, 0))
+
+    def test_stream_chunks_registry(self):
+        assert set(STREAM_CHUNKS) >= {"baseline", "advanced"}
+        for name, factory in STREAM_CHUNKS.items():
+            total = sum(c.size for c in factory(8, 32))
+            assert total > 0
+
+
 class TestStreamsThroughCostModel:
     SMALL = CostParameters(
         l2_bytes=4 * 1024, l2_assoc=4,
@@ -142,6 +227,16 @@ class TestStreamsThroughCostModel:
         }
         assert costs[8] < costs[1]
         assert costs[8] < costs[64]
+
+    def test_chunked_and_generator_charge_identically(self):
+        nk, d = 128, 256
+        chunked = CostModel(self.SMALL).charge_chunks(
+            advanced_stream_chunks(nk, d)
+        )
+        generated = CostModel(self.SMALL).charge_lines(
+            advanced_stream(nk, d)
+        )
+        assert chunked == generated
 
     def test_path_oram_most_expensive_at_scale(self):
         # Figure 10: Path ORAM's per-access position-map scan makes it

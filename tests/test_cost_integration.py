@@ -7,13 +7,12 @@ between the two representations of an access pattern.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.aggregation import aggregate_advanced_traced
 from repro.core.streams import advanced_stream
 from repro.fl.client import LocalUpdate
 from repro.sgx.cost import CostModel, CostParameters
-from repro.sgx.memory import RegionLayout, Trace, TracedArray
+from repro.sgx.memory import RegionLayout, Trace
 
 SMALL = CostParameters(
     l2_bytes=4 * 1024, l2_assoc=4,

@@ -7,7 +7,6 @@ inline variant of their core flow).
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

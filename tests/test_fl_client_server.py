@@ -131,7 +131,7 @@ class TestFederatedSimulation:
     def test_multiple_rounds_accumulate_history(self):
         sim = self._sim()
         sim.run(3)
-        assert [l.round_index for l in sim.history] == [0, 1, 2]
+        assert [log.round_index for log in sim.history] == [0, 1, 2]
 
     def test_explicit_participants(self):
         sim = self._sim()

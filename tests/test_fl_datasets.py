@@ -97,7 +97,7 @@ class TestLabelSets:
     def test_labels_in_range(self):
         rng = np.random.default_rng(0)
         for s in assign_label_sets(30, 6, 2, fixed=True, rng=rng):
-            assert all(0 <= l < 6 for l in s)
+            assert all(0 <= lab < 6 for lab in s)
 
     def test_invalid_count_rejected(self):
         rng = np.random.default_rng(0)

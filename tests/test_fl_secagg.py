@@ -1,7 +1,6 @@
 """Tests for pairwise-masking secure aggregation (repro.fl.secagg)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.fl.client import LocalUpdate

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.attack.pipeline import AttackConfig, build_teacher
 from repro.core.do_aggregation import DoParameters, expected_padding_per_bin

@@ -1,7 +1,6 @@
 """Tests for adaptive clipping integrated into the OLIVE protocol."""
 
 import numpy as np
-import pytest
 
 from repro.core.olive import OliveConfig, OliveSystem
 from repro.fl.client import TrainingConfig

@@ -1,7 +1,6 @@
 """Tests for client-dropout handling in OLIVE rounds."""
 
 import numpy as np
-import pytest
 
 from repro.core.olive import OliveConfig, OliveSystem
 from repro.fl.client import TrainingConfig

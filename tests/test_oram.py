@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.oram.path_oram import DUMMY, PathORAM, StashOverflow
+from repro.oram.path_oram import PathORAM, StashOverflow
 from repro.sgx.memory import Trace
 
 

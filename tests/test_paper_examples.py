@@ -1,7 +1,6 @@
 """Fidelity tests pinned to concrete examples from the paper's text."""
 
 import numpy as np
-import pytest
 
 from repro.core.aggregation import (
     M0,

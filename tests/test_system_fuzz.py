@@ -90,5 +90,5 @@ class TestSystemInvariants:
         system = OliveSystem(build_model("tiny_mlp", seed=0), clients,
                              config, seed=0)
         logs = system.run(3)
-        eps = [l.epsilon for l in logs]
+        eps = [log.epsilon for log in logs]
         assert eps[0] <= eps[1] <= eps[2]
