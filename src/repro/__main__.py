@@ -24,6 +24,7 @@ from .fl import (
     build_model,
     partition_clients,
 )
+from .runtime import FaultConfig, RuntimeConfig
 
 logger = logging.getLogger("repro.demo")
 
@@ -41,6 +42,20 @@ def _parse_args(argv: Sequence[str]) -> argparse.Namespace:
     parser.add_argument(
         "--telemetry-out", metavar="PATH", default=None,
         help="write the demo's telemetry event stream to PATH as JSONL",
+    )
+    parser.add_argument(
+        "--workers", type=int, metavar="N", default=1,
+        help="cohort runtime workers; N > 1 trains clients on a thread "
+             "pool (results are bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--dropout-rate", type=float, metavar="P", default=0.0,
+        help="inject client dropouts at rate P per (round, client); "
+             "the accountant then charges realized cohort sizes",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for sampling, training, and fault injection",
     )
     return parser.parse_args(list(argv))
 
@@ -75,11 +90,19 @@ def main(argv: Sequence[str] | None = None) -> None:
         training=TrainingConfig(local_epochs=2, local_lr=0.3,
                                 sparse_ratio=0.1),
     )
+    runtime = RuntimeConfig(
+        executor="thread" if args.workers > 1 else "serial",
+        workers=max(1, args.workers),
+        faults=FaultConfig(dropout_rate=args.dropout_rate),
+    )
     system = OliveSystem(build_model("tiny_mlp", seed=0), clients, config,
-                         seed=0)
+                         seed=args.seed, runtime=runtime)
     x, y = gen.balanced(20, np.random.default_rng(1))
     logger.info("  %d clients attested; %d-parameter model",
                 len(clients), system.d)
+    logger.info("  cohort runtime: %s executor, %d worker(s), "
+                "dropout rate %.2f", runtime.executor, runtime.workers,
+                args.dropout_rate)
     logger.info("  accuracy before: %.3f", system.evaluate(x, y))
 
     with obs.session(sinks=sinks):
@@ -94,7 +117,7 @@ def main(argv: Sequence[str] | None = None) -> None:
             build_model("tiny_mlp", seed=0),
             partition_clients(SyntheticClassData(SPECS["tiny"], seed=9),
                               20, 30, 2, seed=0),
-            config, seed=0,
+            config, seed=args.seed, runtime=runtime,
         )
         other.run(4)
         b = other.run_round(traced=True)
@@ -102,6 +125,8 @@ def main(argv: Sequence[str] | None = None) -> None:
                     "accesses)", traces_equal(a.trace, b.trace),
                     len(a.trace))
         summary = obs.render_summary(title="telemetry summary (demo run)")
+        other.close()
+    system.close()
 
     logger.debug("%s", summary)
     if args.telemetry_out:

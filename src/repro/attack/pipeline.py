@@ -21,9 +21,9 @@ import numpy as np
 
 from .. import obs
 from ..core.olive import OliveRoundLog
-from ..fl.client import TrainingConfig, compute_update
-from ..fl.datasets import ClientData
+from ..fl.client import TrainingConfig
 from ..fl.models import Sequential
+from ..runtime import STREAM_TEACHER, RuntimeConfig, TrainTask, run_train_tasks
 from .classifiers import JacAttack, NnAttack, NnSingleAttack, decide_labels
 from .leakage import coarsen_indices, feature_dim, observe_rounds
 
@@ -65,6 +65,7 @@ def build_teacher(
     test_data_by_label: dict[int, np.ndarray],
     training: TrainingConfig,
     config: AttackConfig,
+    runtime: RuntimeConfig | None = None,
 ) -> dict[int, dict[int, list[frozenset[int]]]]:
     """Teacher observations teacher[t][l] (Algorithm 2, lines 9-12).
 
@@ -72,37 +73,46 @@ def build_teacher(
     ``teacher_samples_per_label`` shards and replays the client
     procedure (local SGD from theta^t, top-k sparsify) on each shard,
     yielding several observation samples per (round, label).
+
+    All replays are independent, so they batch through the cohort
+    runtime executor (``runtime``; serial by default).  Each replay's
+    randomness derives from its ``(round, label, shard)`` identity, so
+    the teacher is bit-identical for every executor and worker count.
     """
-    rng = np.random.default_rng(config.seed)
-    teacher: dict[int, dict[int, list[frozenset[int]]]] = {}
     splits = max(1, config.teacher_samples_per_label)
+    tasks: list[TrainTask] = []
+    slots: list[tuple[int, int]] = []  # (round_index, label) per task
+    for log in logs:
+        for label, x in test_data_by_label.items():
+            for shard_idx, shard in enumerate(
+                np.array_split(np.arange(len(x)), splits)
+            ):
+                if len(shard) == 0:
+                    continue
+                tasks.append(TrainTask(
+                    seed_key=(log.round_index, int(label), shard_idx),
+                    stream=STREAM_TEACHER,
+                    entropy=config.seed,
+                    weights=log.weights_before,
+                    x=x[shard],
+                    y=np.full(len(shard), label),
+                    training=training,
+                ))
+                slots.append((log.round_index, int(label)))
+
+    teacher: dict[int, dict[int, list[frozenset[int]]]] = {
+        log.round_index: {int(label): [] for label in test_data_by_label}
+        for log in logs
+    }
     with obs.span("attack.build_teacher", rounds=len(logs),
-                  labels=len(test_data_by_label), splits=splits):
-        for log in logs:
-            per_label: dict[int, list[frozenset[int]]] = {}
-            with obs.span("attack.teacher_round", round=log.round_index):
-                for label, x in test_data_by_label.items():
-                    shards = np.array_split(np.arange(len(x)), splits)
-                    samples = []
-                    for shard in shards:
-                        if len(shard) == 0:
-                            continue
-                        data = ClientData(
-                            client_id=-1,
-                            x=x[shard],
-                            y=np.full(len(shard), label),
-                            label_set=frozenset([label]),
-                        )
-                        update = compute_update(
-                            model, log.weights_before, data, training, rng
-                        )
-                        samples.append(
-                            coarsen_indices(update.indices,
-                                            config.granularity)
-                        )
-                    obs.add("attack.teacher_samples", len(samples))
-                    per_label[label] = samples
-            teacher[log.round_index] = per_label
+                  labels=len(test_data_by_label), splits=splits,
+                  tasks=len(tasks)):
+        index_sets = run_train_tasks(model, tasks, runtime)
+        for (round_index, label), indices in zip(slots, index_sets):
+            teacher[round_index][label].append(
+                coarsen_indices(indices, config.granularity)
+            )
+            obs.add("attack.teacher_samples")
     return teacher
 
 
@@ -114,6 +124,7 @@ def run_attack(
     true_labels: dict[int, frozenset[int]],
     d: int,
     config: AttackConfig | None = None,
+    runtime: RuntimeConfig | None = None,
 ) -> AttackResult:
     """Execute Algorithm 2 over a sequence of traced rounds."""
     config = config or AttackConfig()
@@ -135,7 +146,7 @@ def run_attack(
         obs.add("attack.clients_observed", len(per_client))
 
         teacher = build_teacher(logs, model, test_data_by_label, training,
-                                config)
+                                config, runtime=runtime)
 
         scores: dict[int, np.ndarray] = {}
         with obs.span("attack.score", method=config.method,

@@ -26,13 +26,14 @@ def save_checkpoint(system: OliveSystem, path: str | Path) -> None:
     path = Path(path)
     meta = {
         "rounds": system.accountant.steps,
+        "realized_rates": list(system.accountant.realized_rates),
         "sample_rate": system.config.sample_rate,
         "noise_multiplier": system.config.noise_multiplier,
         "delta": system.config.delta,
         "aggregator": system.config.aggregator,
         "clip": system.clipper.clip if system.clipper
                 else system.config.training.clip,
-        "version": 1,
+        "version": 2,
     }
     np.savez(
         path,
@@ -66,6 +67,11 @@ def load_checkpoint(system: OliveSystem, path: str | Path) -> dict:
     system.global_weights = weights.copy()
     system.model.set_flat(system.global_weights)
     system.accountant.steps = int(meta["rounds"])
+    # Version 1 checkpoints predate realized-cohort accounting; they
+    # hold no realized rounds by construction.
+    system.accountant.realized_rates = [
+        float(q) for q in meta.get("realized_rates", [])
+    ]
     if system.clipper is not None:
         system.clipper.clip = float(meta["clip"])
     return meta

@@ -14,10 +14,19 @@ configuration analysed in Section 3.3 (TEE without obliviousness);
 ``"advanced"``/``"baseline"``/``"path_oram"`` are the defenses of
 Section 5.  Running a round with ``traced=True`` records the adversary-
 visible access pattern for the attack framework.
+
+Local training for the sampled cohort executes through the cohort
+runtime (:mod:`repro.runtime`): a pluggable serial/thread/process
+executor with per-``(round, client)`` seed derivation (bit-identical
+results across executors), deterministic fault injection, retries,
+per-client timeouts, and a minimum-quorum completion policy.  The
+enclave aggregates the surviving cohort and, under fault injection,
+the DP accountant charges the realized cohort fraction.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,16 +34,11 @@ import numpy as np
 from .. import obs
 from ..dp.accountant import PrivacyAccountant
 from ..dp.adaptive_clipping import AdaptiveClipper
-from ..fl.client import (
-    LocalUpdate,
-    TrainingConfig,
-    compute_update,
-    encrypt_quantized_update,
-    encrypt_update,
-)
+from ..fl.client import LocalUpdate, TrainingConfig
 from ..fl.datasets import ClientData
 from ..fl.models import Sequential, accuracy
-from ..sgx.enclave import Enclave, provision_enclave_with_clients
+from ..runtime import STATUS_REJECTED, CohortResult, CohortRuntime, RuntimeConfig
+from ..sgx.enclave import Enclave, EnclaveSecurityError, provision_enclave_with_clients
 from ..sgx.memory import Trace
 from .aggregation import AGGREGATORS
 from .grouping import aggregate_grouped, aggregate_grouped_traced
@@ -75,6 +79,7 @@ class OliveRoundLog:
     weights_before: np.ndarray
     weights_after: np.ndarray
     epsilon: float
+    cohort: CohortResult | None = None
 
 
 class OliveSystem:
@@ -86,6 +91,7 @@ class OliveSystem:
         clients: list[ClientData],
         config: OliveConfig,
         seed: int = 0,
+        runtime: RuntimeConfig | None = None,
     ) -> None:
         self.model = model
         self.clients = clients
@@ -100,7 +106,6 @@ class OliveSystem:
             noise_multiplier=config.noise_multiplier,
             delta=config.delta,
         )
-        self._rng = np.random.default_rng(seed)
         self.history: list[OliveRoundLog] = []
         self.clipper: AdaptiveClipper | None = None
         if config.adaptive_clipping:
@@ -109,11 +114,26 @@ class OliveSystem:
                 target_quantile=config.clip_target_quantile,
                 learning_rate=config.clip_learning_rate,
             )
+        self.runtime_config = runtime or RuntimeConfig()
+        self.runtime = CohortRuntime(
+            self.runtime_config, copy.deepcopy(model), clients,
+            entropy=seed, keys=self.client_keys,
+        )
 
     @property
     def d(self) -> int:
         """Model dimensionality."""
         return self.global_weights.size
+
+    def close(self) -> None:
+        """Release runtime pools / shared memory (idempotent)."""
+        self.runtime.close()
+
+    def __enter__(self) -> "OliveSystem":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _aggregate(
@@ -136,10 +156,14 @@ class OliveSystem:
         """One full Algorithm 1 round.
 
         ``dropouts`` models clients that were securely sampled but
-        failed to upload (battery, network).  The enclave proceeds with
-        the received set; the DP denominator stays the *expected*
-        participant count qN, so the guarantee is unaffected (dropouts
-        only add averaging noise, the standard DP-FedAVG treatment).
+        failed to upload (battery, network); the cohort runtime can
+        additionally inject dropouts, stragglers, transient failures
+        and transport faults.  The enclave proceeds with the surviving
+        set (subject to ``min_quorum``); the DP *denominator* stays the
+        expected participant count qN, so the guarantee is unaffected
+        (dropouts only add averaging noise, the standard DP-FedAVG
+        treatment), while the *accountant* charges the realized cohort
+        fraction when fault injection is active.
         """
         self.enclave.reset_trace()
         weights_before = self.global_weights.copy()
@@ -148,6 +172,7 @@ class OliveSystem:
         with obs.span(
             "round", index=len(self.history),
             aggregator=self.config.aggregator, traced=traced,
+            executor=self.runtime_config.executor,
         ):
             # Line 4: secure sampling inside the enclave.
             with obs.span("sample"):
@@ -155,58 +180,69 @@ class OliveSystem:
                     [c.client_id for c in self.clients],
                     self.config.sample_rate,
                 )
-            responders = [cid for cid in participants if cid not in dropouts]
             obs.add("round.clients_sampled", len(participants))
-            obs.add("round.clients_dropped",
-                    len(participants) - len(responders))
 
-            # Lines 6-11: local training, encryption, enclave verification.
+            # Lines 6-11: local training, encryption, enclave
+            # verification -- executed through the cohort runtime.
             clip = (self.clipper.clip if self.clipper
                     else self.config.training.clip)
+            cohort = self.runtime.run_cohort(
+                len(self.history), participants, weights_before,
+                self.config.training, clip=clip,
+                quantize_bits=self.config.quantize_bits,
+                forced_dropouts=dropouts,
+            )
             updates: dict[int, LocalUpdate] = {}
-            for cid in responders:
-                with obs.span("train", client=cid):
-                    update = compute_update(
-                        self.model, weights_before, self.clients[cid],
-                        self.config.training, self._rng, clip_override=clip,
-                    )
-                if self.config.quantize_bits is not None:
-                    with obs.span("upload", client=cid, quantized=True):
-                        ciphertext = encrypt_quantized_update(
-                            update, self.client_keys[cid],
-                            self.config.quantize_bits, self._rng,
-                        )
-                    obs.add("round.upload_bytes",
-                            len(ciphertext.to_bytes()))
+            for delivery in cohort.deliveries:
+                cid = delivery.client_id
+                assert delivery.ciphertext is not None
+                with obs.span(
+                    "upload", client=cid,
+                    quantized=self.config.quantize_bits is not None,
+                ):
+                    blob = delivery.ciphertext.to_bytes()
+                obs.add("round.upload_bytes", len(blob))
+                try:
                     with obs.span("decrypt", client=cid):
-                        indices, values = (
-                            self.enclave.load_quantized_gradient(
-                                cid, ciphertext
+                        if self.config.quantize_bits is not None:
+                            indices, values = (
+                                self.enclave.load_quantized_gradient(
+                                    cid, delivery.ciphertext
+                                )
                             )
-                        )
-                else:
-                    with obs.span("upload", client=cid, quantized=False):
-                        ciphertext = encrypt_update(
-                            update, self.client_keys[cid]
-                        )
-                    obs.add("round.upload_bytes",
-                            len(ciphertext.to_bytes()))
-                    with obs.span("decrypt", client=cid):
-                        indices, values = self.enclave.load_gradient(
-                            cid, ciphertext
-                        )
+                        else:
+                            indices, values = self.enclave.load_gradient(
+                                cid, delivery.ciphertext
+                            )
+                except EnclaveSecurityError:
+                    # Corrupt or replayed upload: the enclave refused
+                    # it.  Only the *extra* copy of a replay is lost;
+                    # a tampered original costs the client its round.
+                    if not delivery.duplicate:
+                        cohort.outcomes[cid].status = STATUS_REJECTED
+                        updates.pop(cid, None)
+                    continue
                 updates[cid] = LocalUpdate(
                     client_id=cid,
                     indices=np.asarray(indices, dtype=np.int64),
                     values=np.asarray(values, dtype=np.float64),
                 )
+            obs.add("round.clients_dropped",
+                    len(participants) - len(updates))
+
+            # Completion policy: abort before anything leaves the
+            # enclave if too few clients survived.
+            self.runtime.check_quorum(len(updates), len(participants))
 
             # Line 12: oblivious aggregation + enclave-private perturbation.
             trace = self.enclave.trace if traced else None
             trace_before = len(trace) if trace is not None else 0
             with obs.span("aggregate", aggregator=self.config.aggregator,
                           n_updates=len(updates)):
-                aggregate = self._aggregate(list(updates.values()), trace)
+                if updates:
+                    aggregate = self._aggregate(list(updates.values()), trace)
+                else:
+                    aggregate = np.zeros(self.d)
             if trace is not None:
                 obs.add("trace.accesses_recorded",
                         len(trace) - trace_before)
@@ -226,7 +262,12 @@ class OliveSystem:
             )
             self.model.set_flat(self.global_weights)
             with obs.span("accountant"):
-                self.accountant.step()
+                if self.runtime_config.use_realized_accounting():
+                    self.accountant.step_realized(
+                        len(updates) / max(1, len(self.clients))
+                    )
+                else:
+                    self.accountant.step()
             obs.gauge("dp.epsilon", self.accountant.epsilon)
             if self.clipper is not None:
                 # Quantile feedback (Andrew et al.): clients report whether
@@ -242,12 +283,13 @@ class OliveSystem:
 
         log = OliveRoundLog(
             round_index=len(self.history),
-            participants=list(responders),
+            participants=sorted(updates),
             updates=updates,
             trace=trace,
             weights_before=weights_before,
             weights_after=self.global_weights.copy(),
             epsilon=self.accountant.epsilon,
+            cohort=cohort,
         )
         self.history.append(log)
         return log

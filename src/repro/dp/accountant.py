@@ -18,6 +18,7 @@ module implements:
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -125,28 +126,66 @@ def noise_multiplier_for(
 
 @dataclass
 class PrivacyAccountant:
-    """Accumulates per-round RDP and reports the running budget."""
+    """Accumulates per-round RDP and reports the running budget.
+
+    Two kinds of rounds compose (RDP adds across mechanisms):
+
+    * :meth:`step` -- a round at the *configured* sampling rate (the
+      paper's fixed-q accounting);
+    * :meth:`step_realized` -- a round charged at the cohort fraction
+      that actually survived (dropouts, stragglers, rejections), used
+      by the cohort runtime under fault injection.
+    """
 
     sampling_rate: float
     noise_multiplier: float
     delta: float
     orders: tuple[int, ...] = DEFAULT_ORDERS
     steps: int = field(default=0)
+    realized_rates: list[float] = field(default_factory=list)
 
     def step(self, rounds: int = 1) -> None:
         """Consume one (or more) subsampled-Gaussian rounds."""
         self.steps += rounds
 
+    def step_realized(self, realized_rate: float) -> None:
+        """Consume one round at the *realized* cohort fraction.
+
+        ``realized_rate`` is survivors / N.  A round where nobody
+        survived releases only data-independent noise and costs no
+        budget (q = 0 contributes zero RDP), so it is recorded as 0
+        and skipped in the epsilon computation.
+        """
+        if not 0.0 <= realized_rate <= 1.0:
+            raise ValueError("realized rate must be in [0, 1]")
+        self.realized_rates.append(float(realized_rate))
+
+    @property
+    def total_steps(self) -> int:
+        """All rounds consumed, fixed-rate and realized alike."""
+        return self.steps + len(self.realized_rates)
+
     @property
     def epsilon(self) -> float:
         """Current (epsilon, delta)-DP budget at the configured delta."""
-        if self.steps == 0:
+        realized = [q for q in self.realized_rates if q > 0.0]
+        if self.steps == 0 and not realized:
             return 0.0
         if (self.noise_multiplier <= 0
                 or self.noise_multiplier * self.noise_multiplier == 0.0):
             # Noiseless (or underflowing-sigma) runs: no DP guarantee.
             return math.inf
-        return epsilon_for(
-            self.sampling_rate, self.noise_multiplier, self.steps,
-            self.delta, self.orders,
-        )
+        total_rdp = [0.0] * len(self.orders)
+        if self.steps:
+            rdp = compute_rdp(
+                self.sampling_rate, self.noise_multiplier, self.steps,
+                self.orders,
+            )
+            total_rdp = [a + b for a, b in zip(total_rdp, rdp)]
+        # Group realized rounds by rate: RDP composes additively, and
+        # equal-rate rounds share one compute_rdp call.
+        for q, count in Counter(realized).items():
+            rdp = compute_rdp(q, self.noise_multiplier, count, self.orders)
+            total_rdp = [a + b for a, b in zip(total_rdp, rdp)]
+        eps, _ = rdp_to_dp(total_rdp, self.orders, self.delta)
+        return eps

@@ -14,12 +14,14 @@ Provides the DP-FedAVG simulation the rest of the repository builds on:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..dp.mechanisms import gaussian_perturb
-from .client import LocalUpdate, TrainingConfig, compute_update, local_train
+from ..runtime import CohortRuntime, RuntimeConfig
+from .client import LocalUpdate, TrainingConfig, local_train
 from .datasets import ClientData
 from .models import Sequential, accuracy
 from .sparsify import densify
@@ -60,16 +62,37 @@ class FederatedSimulation:
     training: TrainingConfig = field(default_factory=TrainingConfig)
     server: ServerConfig = field(default_factory=ServerConfig)
     seed: int = 0
+    runtime_config: RuntimeConfig = field(default_factory=RuntimeConfig)
 
     def __post_init__(self) -> None:
+        faults = self.runtime_config.faults
+        if faults.corrupt_rate > 0 or faults.replay_rate > 0:
+            raise ValueError(
+                "transport faults (corrupt/replay) need the encrypted "
+                "OLIVE path; the plain simulation has no ciphertexts"
+            )
         self._rng = np.random.default_rng(self.seed)
         self.history: list[RoundLog] = []
         self.global_weights = self.model.get_flat()
+        self.runtime = CohortRuntime(
+            self.runtime_config, copy.deepcopy(self.model), self.clients,
+            entropy=self.seed,
+        )
 
     @property
     def d(self) -> int:
         """Model dimensionality."""
         return self.global_weights.size
+
+    def close(self) -> None:
+        """Release runtime pools / shared memory (idempotent)."""
+        self.runtime.close()
+
+    def __enter__(self) -> "FederatedSimulation":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def _sample_participants(self) -> list[int]:
         mask = self._rng.random(len(self.clients)) < self.server.sample_rate
@@ -79,17 +102,22 @@ class FederatedSimulation:
         return chosen
 
     def run_round(self, participants: list[int] | None = None) -> RoundLog:
-        """One DP-FedAVG round; returns its log."""
+        """One DP-FedAVG round; returns its log.
+
+        Local training executes through the cohort runtime: parallel
+        executors and injected faults change wall clock and who
+        completes, never the surviving clients' update bits.
+        """
         if participants is None:
             participants = self._sample_participants()
         weights_before = self.global_weights.copy()
-        updates: dict[int, LocalUpdate] = {}
-        for cid in participants:
-            update = compute_update(
-                self.model, weights_before, self.clients[cid],
-                self.training, self._rng,
-            )
-            updates[cid] = update
+        cohort = self.runtime.run_cohort(
+            len(self.history), participants, weights_before, self.training,
+        )
+        updates: dict[int, LocalUpdate] = {
+            d.client_id: d.result.to_update() for d in cohort.deliveries
+        }
+        self.runtime.check_quorum(len(updates), len(participants))
 
         aggregate = np.zeros(self.d)
         for update in updates.values():
@@ -106,7 +134,7 @@ class FederatedSimulation:
 
         log = RoundLog(
             round_index=len(self.history),
-            participants=list(participants),
+            participants=sorted(updates),
             updates=updates,
             weights_before=weights_before,
             weights_after=self.global_weights.copy(),

@@ -1,0 +1,93 @@
+"""Cohort runtime: parallel, fault-tolerant client execution.
+
+The subsystem OLIVE's round loop submits sampled cohorts through:
+
+* pluggable executors (``serial`` | ``thread`` | ``process`` with
+  shared-memory model broadcast) -- :mod:`repro.runtime.executors`;
+* per-``(round, client)`` seed derivation making every executor
+  bit-identical -- :mod:`repro.runtime.seeding`;
+* deterministic fault injection (dropout, stragglers, corrupt/replayed
+  ciphertexts, transient worker failures) -- :mod:`repro.runtime.faults`;
+* retries with exponential backoff, per-client timeouts, and a
+  minimum-quorum completion policy -- :mod:`repro.runtime.cohort`.
+
+Typical use::
+
+    from repro.runtime import CohortRuntime, FaultConfig, RuntimeConfig
+
+    cfg = RuntimeConfig(executor="thread", workers=8,
+                        faults=FaultConfig(dropout_rate=0.05))
+    system = OliveSystem(model, clients, olive_config, runtime=cfg)
+"""
+
+from .cohort import (
+    STATUS_DROPPED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_STRAGGLER,
+    ClientOutcome,
+    CohortResult,
+    CohortRuntime,
+    Delivery,
+    run_train_tasks,
+)
+from .config import QuorumNotMetError, RuntimeConfig
+from .executors import EXECUTORS, make_executor
+from .faults import ClientFaultPlan, FaultConfig, FaultInjector
+from .jobs import (
+    ClientJob,
+    ClientJobResult,
+    TrainTask,
+    TransientWorkerError,
+    WorkerContext,
+    execute_client_job,
+    execute_train_task,
+)
+from .seeding import (
+    STREAM_FAULT,
+    STREAM_MODEL,
+    STREAM_NONCE,
+    STREAM_TEACHER,
+    STREAM_TRAIN,
+    derive_nonce,
+    derive_rng,
+    reseed_model,
+    seed_sequence,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "STATUS_DROPPED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_STRAGGLER",
+    "STREAM_FAULT",
+    "STREAM_MODEL",
+    "STREAM_NONCE",
+    "STREAM_TEACHER",
+    "STREAM_TRAIN",
+    "ClientFaultPlan",
+    "ClientJob",
+    "ClientJobResult",
+    "ClientOutcome",
+    "CohortResult",
+    "CohortRuntime",
+    "Delivery",
+    "FaultConfig",
+    "FaultInjector",
+    "QuorumNotMetError",
+    "RuntimeConfig",
+    "TrainTask",
+    "TransientWorkerError",
+    "WorkerContext",
+    "derive_nonce",
+    "derive_rng",
+    "execute_client_job",
+    "execute_train_task",
+    "make_executor",
+    "reseed_model",
+    "run_train_tasks",
+    "seed_sequence",
+]

@@ -1,0 +1,242 @@
+"""Pluggable cohort executors: serial, thread pool, process pool.
+
+All three expose the same tiny surface -- ``start(model, clients, d)``,
+``broadcast(weights)``, ``submit(job)`` returning a future, and
+``shutdown()`` -- and all three run the *same* job function
+(:func:`repro.runtime.jobs.execute_client_job`), so the choice of
+executor affects wall clock only, never results (pinned by the
+determinism suite).
+
+* :class:`SerialExecutor` executes lazily at ``result()`` time in the
+  coordinator thread: zero overhead, exact per-client span timings,
+  and the default everywhere.
+* :class:`ThreadExecutor` shares the context read-only across a
+  ``ThreadPoolExecutor``; each job deep-copies the model template, so
+  no training state is shared.  Numpy releases the GIL in the heavy
+  kernels and injected client latency overlaps fully.
+* :class:`ProcessExecutor` forks a worker pool and broadcasts the
+  global model through a :class:`multiprocessing.shared_memory` block:
+  the per-round weight vector is written once by the coordinator and
+  mapped zero-copy by every worker.  Job/result shuttling is the only
+  pickling on the round hot path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import shared_memory
+from typing import Callable
+
+import numpy as np
+
+from ..fl.datasets import ClientData
+from ..fl.models import Sequential
+from .jobs import (
+    ClientJob,
+    ClientJobResult,
+    TrainTask,
+    WorkerContext,
+    execute_client_job,
+    execute_train_task,
+)
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+class _LazyFuture:
+    """A future that runs its thunk on first ``result()`` call.
+
+    Lets the serial executor keep the submit/collect protocol of the
+    pooled executors while executing in the coordinator thread at
+    collection time -- so per-client telemetry spans wrap real work.
+    """
+
+    def __init__(self, fn: Callable[[], ClientJobResult]) -> None:
+        self._fn = fn
+        self._done = False
+        self._result: ClientJobResult | None = None
+        self._exc: BaseException | None = None
+
+    def result(self, timeout: float | None = None):
+        if not self._done:
+            try:
+                self._result = self._fn()
+            except BaseException as exc:  # re-raised like a real future
+                self._exc = exc
+            self._done = True
+        if self._exc is not None:
+            raise self._exc
+        return self._result
+
+    def cancel(self) -> bool:
+        return False
+
+
+class SerialExecutor:
+    """In-line execution in submission order; the reference executor."""
+
+    kind = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        self._ctx: WorkerContext | None = None
+
+    def start(self, model: Sequential, clients: dict[int, ClientData],
+              d: int) -> None:
+        self._ctx = WorkerContext(model=model, clients=clients,
+                                  weights=np.zeros(max(d, 1)))
+
+    def broadcast(self, weights: np.ndarray) -> None:
+        assert self._ctx is not None
+        self._ctx.weights = weights
+
+    def submit(self, job: ClientJob) -> _LazyFuture:
+        assert self._ctx is not None
+        ctx = self._ctx
+        return _LazyFuture(lambda: execute_client_job(ctx, job))
+
+    def submit_task(self, task: TrainTask) -> _LazyFuture:
+        assert self._ctx is not None
+        ctx = self._ctx
+        return _LazyFuture(lambda: execute_train_task(ctx, task))
+
+    def shutdown(self) -> None:
+        self._ctx = None
+
+
+class ThreadExecutor:
+    """Shared-context thread pool; jobs clone the model per call."""
+
+    kind = "thread"
+
+    def __init__(self, workers: int = 4) -> None:
+        self.workers = max(1, int(workers))
+        self._ctx: WorkerContext | None = None
+        self._pool: ThreadPoolExecutor | None = None
+
+    def start(self, model: Sequential, clients: dict[int, ClientData],
+              d: int) -> None:
+        self._ctx = WorkerContext(model=model, clients=clients,
+                                  weights=np.zeros(max(d, 1)))
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="cohort"
+        )
+
+    def broadcast(self, weights: np.ndarray) -> None:
+        assert self._ctx is not None
+        self._ctx.weights = weights
+
+    def submit(self, job: ClientJob) -> Future:
+        assert self._pool is not None and self._ctx is not None
+        return self._pool.submit(execute_client_job, self._ctx, job)
+
+    def submit_task(self, task: TrainTask) -> Future:
+        assert self._pool is not None and self._ctx is not None
+        return self._pool.submit(execute_train_task, self._ctx, task)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._ctx = None
+
+
+# -- process executor ---------------------------------------------------
+# Worker-resident context, installed by the pool initializer.  One slot
+# per process; forked or spawned children never share this with the
+# coordinator.
+_PROC_CTX: WorkerContext | None = None
+
+
+def _proc_init(payload: bytes, shm_name: str, d: int) -> None:
+    global _PROC_CTX
+    model, clients = pickle.loads(payload)
+    shm = shared_memory.SharedMemory(name=shm_name)
+    weights = np.ndarray((max(d, 1),), dtype=np.float64, buffer=shm.buf)
+    _PROC_CTX = WorkerContext(model=model, clients=clients, weights=weights,
+                              extras={"shm": shm})
+
+
+def _proc_job(job: ClientJob) -> ClientJobResult:
+    assert _PROC_CTX is not None, "worker not initialized"
+    return execute_client_job(_PROC_CTX, job)
+
+
+def _proc_task(task: TrainTask) -> np.ndarray:
+    assert _PROC_CTX is not None, "worker not initialized"
+    return execute_train_task(_PROC_CTX, task)
+
+
+def _mp_context():
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # platforms without fork: spawn still works
+        return mp.get_context()
+
+
+class ProcessExecutor:
+    """Process pool with shared-memory numpy model broadcast."""
+
+    kind = "process"
+
+    def __init__(self, workers: int = 4) -> None:
+        self.workers = max(1, int(workers))
+        self._pool: ProcessPoolExecutor | None = None
+        self._shm: shared_memory.SharedMemory | None = None
+        self._weights_view: np.ndarray | None = None
+
+    def start(self, model: Sequential, clients: dict[int, ClientData],
+              d: int) -> None:
+        size = max(d, 1) * 8
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._weights_view = np.ndarray(
+            (max(d, 1),), dtype=np.float64, buffer=self._shm.buf
+        )
+        self._weights_view[:] = 0.0
+        payload = pickle.dumps((model, clients), protocol=pickle.HIGHEST_PROTOCOL)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=_mp_context(),
+            initializer=_proc_init,
+            initargs=(payload, self._shm.name, d),
+        )
+
+    def broadcast(self, weights: np.ndarray) -> None:
+        assert self._weights_view is not None
+        # All outstanding jobs of the previous round were collected by
+        # the coordinator before a new broadcast, so no worker reads a
+        # half-written vector.
+        np.copyto(self._weights_view[: weights.size], weights)
+
+    def submit(self, job: ClientJob) -> Future:
+        assert self._pool is not None
+        return self._pool.submit(_proc_job, job)
+
+    def submit_task(self, task: TrainTask) -> Future:
+        assert self._pool is not None
+        return self._pool.submit(_proc_task, task)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._shm is not None:
+            self._weights_view = None
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except (FileNotFoundError, OSError):  # already reclaimed
+                pass
+            self._shm = None
+
+
+def make_executor(kind: str, workers: int):
+    """Build an executor by name (``serial`` | ``thread`` | ``process``)."""
+    if kind == "serial":
+        return SerialExecutor(workers)
+    if kind == "thread":
+        return ThreadExecutor(workers)
+    if kind == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(f"unknown executor {kind!r} (choose from {EXECUTORS})")

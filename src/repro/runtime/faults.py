@@ -1,0 +1,119 @@
+"""Deterministic fault injection for cohort execution.
+
+Models the failure modes a concrete-scalability simulation must cover
+(OLYMPIA's dropout/straggler taxonomy) plus the adversarial transport
+faults OLIVE's enclave must reject (corrupted and replayed
+ciphertexts):
+
+* **dropout** -- the client was securely sampled but never responds
+  (battery, network loss);
+* **straggler** -- the client responds after an injected delay drawn
+  from an exponential (or fixed) distribution; delays beyond the
+  runtime's per-client timeout are dropped without waiting;
+* **corrupt** -- the ciphertext is tampered in transit, so enclave AE
+  verification rejects it;
+* **replay** -- the same ciphertext is delivered twice in one round;
+  the enclave must accept exactly one copy;
+* **transient worker failure** -- the execution substrate (not the
+  client) fails a number of attempts before succeeding, exercising the
+  runtime's retry-with-backoff path.
+
+Every decision is a pure function of ``(entropy, round, client)``
+through :mod:`repro.runtime.seeding`'s ``STREAM_FAULT`` stream, so a
+fault plan is identical across executors, worker counts, and re-runs:
+fault-path tests can replay a faulty round bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .seeding import STREAM_FAULT, derive_rng
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection rates and shapes (all rates are per-client)."""
+
+    dropout_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_delay_s: float = 0.02   # mean injected delay
+    straggler_jitter: bool = True     # exponential around the mean when True
+    corrupt_rate: float = 0.0
+    replay_rate: float = 0.0
+    transient_failure_rate: float = 0.0
+    transient_failures: int = 1       # failing attempts per affected client
+
+    def __post_init__(self) -> None:
+        for name in ("dropout_rate", "straggler_rate", "corrupt_rate",
+                     "replay_rate", "transient_failure_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.straggler_delay_s < 0:
+            raise ValueError("straggler_delay_s must be >= 0")
+        if self.transient_failures < 0:
+            raise ValueError("transient_failures must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault mode has a non-zero rate."""
+        return any((self.dropout_rate, self.straggler_rate,
+                    self.corrupt_rate, self.replay_rate,
+                    self.transient_failure_rate))
+
+
+@dataclass(frozen=True)
+class ClientFaultPlan:
+    """The faults one ``(round, client)`` pair experiences."""
+
+    dropped: bool = False
+    delay_s: float = 0.0
+    corrupt: bool = False
+    replay: bool = False
+    fail_attempts: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when this client runs fault-free."""
+        return (not self.dropped and self.delay_s == 0.0
+                and not self.corrupt and not self.replay
+                and self.fail_attempts == 0)
+
+
+CLEAN_PLAN = ClientFaultPlan()
+
+
+class FaultInjector:
+    """Draws one deterministic :class:`ClientFaultPlan` per (round, client).
+
+    The draw order inside :meth:`plan` is fixed (dropout, straggler,
+    delay, corrupt, replay, transient) so plans stay stable under
+    config changes to unrelated rates only when derived rates change --
+    the determinism contract is per-configuration, not cross-config.
+    """
+
+    def __init__(self, config: FaultConfig, entropy: int) -> None:
+        self.config = config
+        self.entropy = entropy
+
+    def plan(self, round_index: int, client_id: int) -> ClientFaultPlan:
+        """The fault plan for ``client_id`` in ``round_index``."""
+        cfg = self.config
+        if not cfg.active:
+            return CLEAN_PLAN
+        rng = derive_rng(self.entropy, STREAM_FAULT, round_index, client_id)
+        dropped = rng.random() < cfg.dropout_rate
+        straggler = rng.random() < cfg.straggler_rate
+        delay = 0.0
+        if straggler:
+            delay = (float(rng.exponential(cfg.straggler_delay_s))
+                     if cfg.straggler_jitter else cfg.straggler_delay_s)
+        corrupt = rng.random() < cfg.corrupt_rate
+        replay = rng.random() < cfg.replay_rate
+        fail_attempts = (cfg.transient_failures
+                         if rng.random() < cfg.transient_failure_rate else 0)
+        return ClientFaultPlan(
+            dropped=dropped, delay_s=delay, corrupt=corrupt,
+            replay=replay, fail_attempts=fail_attempts,
+        )

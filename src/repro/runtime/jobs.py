@@ -1,0 +1,189 @@
+"""The unit of cohort work: one client's local round, self-contained.
+
+A :class:`ClientJob` carries everything needed to reproduce one
+client's contribution -- identity ``(round, client)``, the training
+hyperparameters, and the base entropy -- but never live RNG state.
+:func:`execute_client_job` derives all randomness from the job's
+identity (see :mod:`repro.runtime.seeding`), clones the worker's model
+template, trains on the worker's shard table, and returns either the
+sealed ciphertext (enclave mode) or the plain sparse update
+(reference-simulation mode).  Because the function is a pure function
+of ``(context, job)``, it can run on any executor, any worker, any
+number of times (retries), and produce the same bits.
+
+Jobs and results are plain picklable dataclasses so the process
+executor can ship them across the fork boundary; the worker-resident
+state (model template, client shards, broadcast weights) lives in a
+:class:`WorkerContext` installed once per worker.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..fl.client import LocalUpdate, TrainingConfig, compute_update
+from ..fl.datasets import ClientData
+from ..fl.models import Sequential
+from ..sgx import crypto
+from .seeding import STREAM_MODEL, STREAM_TRAIN, derive_nonce, derive_rng, reseed_model
+
+
+class TransientWorkerError(RuntimeError):
+    """An injected (or real) transient execution failure; retryable."""
+
+
+@dataclass
+class WorkerContext:
+    """Per-worker state shared by every job the worker executes.
+
+    ``weights`` is the broadcast global model for the current round: a
+    plain array for in-process executors, a shared-memory view for the
+    process executor (zero-copy across workers).  Jobs treat it as
+    read-only.
+    """
+
+    model: Sequential
+    clients: dict[int, ClientData]
+    weights: np.ndarray
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ClientJob:
+    """One client's work order for one round."""
+
+    round_index: int
+    client_id: int
+    entropy: int
+    training: TrainingConfig
+    clip: float | None = None
+    quantize_bits: int | None = None
+    key: bytes | None = None      # seal the update when set (enclave mode)
+    delay_s: float = 0.0          # injected straggler latency, slept in-job
+    fail_attempts: int = 0        # attempts < fail_attempts raise transiently
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class ClientJobResult:
+    """What one client upload produced."""
+
+    client_id: int
+    round_index: int
+    ciphertext: crypto.Ciphertext | None
+    indices: np.ndarray | None    # plain mode only (no key)
+    values: np.ndarray | None
+    upload_bytes: int
+    train_seconds: float
+    attempt: int
+
+    def to_update(self) -> LocalUpdate:
+        """The plain-mode sparse update (enclave mode decrypts instead)."""
+        if self.indices is None or self.values is None:
+            raise ValueError("sealed result: decrypt through the enclave")
+        return LocalUpdate(client_id=self.client_id,
+                           indices=self.indices, values=self.values)
+
+
+@dataclass(frozen=True)
+class TrainTask:
+    """A generic local-training replay task (attack teacher, ablations).
+
+    Unlike :class:`ClientJob` it carries its own start weights (teacher
+    replay starts from a different ``theta^t`` per round) and a free-form
+    ``seed_key`` identifying the task in the derivation namespace.
+    """
+
+    seed_key: tuple[int, ...]     # e.g. (round, label, shard)
+    stream: int
+    entropy: int
+    weights: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    training: TrainingConfig
+
+
+def _train_once(
+    model_template: Sequential,
+    weights: np.ndarray,
+    data: ClientData,
+    training: TrainingConfig,
+    entropy: int,
+    stream_train: int,
+    stream_model: int,
+    key_parts: tuple[int, ...],
+    clip: float | None = None,
+) -> LocalUpdate:
+    """Clone the template, re-key its randomness, run one local round."""
+    model = copy.deepcopy(model_template)
+    reseed_model(model, entropy, stream_model, *key_parts)
+    rng = derive_rng(entropy, stream_train, *key_parts)
+    return compute_update(model, weights, data, training, rng,
+                          clip_override=clip)
+
+
+def execute_client_job(ctx: WorkerContext, job: ClientJob) -> ClientJobResult:
+    """Run one client job inside a worker; pure in ``(ctx, job)``.
+
+    Raises :class:`TransientWorkerError` while the injected failure
+    budget is unspent -- the coordinator retries with backoff and the
+    successful attempt returns bits identical to a never-failed run
+    (the derivation ignores ``attempt``).
+    """
+    if job.attempt < job.fail_attempts:
+        raise TransientWorkerError(
+            f"injected transient failure for client {job.client_id} "
+            f"(attempt {job.attempt}/{job.fail_attempts})"
+        )
+    if job.delay_s > 0.0:
+        time.sleep(job.delay_s)
+    t0 = time.perf_counter()
+    data = ctx.clients[job.client_id]
+    update = _train_once(
+        ctx.model, ctx.weights, data, job.training, job.entropy,
+        STREAM_TRAIN, STREAM_MODEL, (job.round_index, job.client_id),
+        clip=job.clip,
+    )
+    train_seconds = time.perf_counter() - t0
+
+    if job.key is None:
+        return ClientJobResult(
+            client_id=job.client_id, round_index=job.round_index,
+            ciphertext=None, indices=update.indices, values=update.values,
+            upload_bytes=0, train_seconds=train_seconds, attempt=job.attempt,
+        )
+
+    if job.quantize_bits is not None:
+        from ..fl.quantize import quantize_stochastic
+
+        # Quantization draws from its own sub-stream of the client's
+        # identity so the dither is executor- and retry-invariant too.
+        q_rng = derive_rng(job.entropy, STREAM_TRAIN,
+                           job.round_index, job.client_id, 1)
+        q = quantize_stochastic(update, job.quantize_bits, q_rng)
+        payload = crypto.encode_quantized_gradient(q.indices, q.levels, q.scale)
+    else:
+        payload = crypto.encode_sparse_gradient(update.indices, update.values)
+    nonce = derive_nonce(job.entropy, job.round_index, job.client_id)
+    ciphertext = crypto.seal(job.key, payload, nonce=nonce)
+    return ClientJobResult(
+        client_id=job.client_id, round_index=job.round_index,
+        ciphertext=ciphertext, indices=None, values=None,
+        upload_bytes=len(ciphertext.to_bytes()),
+        train_seconds=train_seconds, attempt=job.attempt,
+    )
+
+
+def execute_train_task(ctx: WorkerContext, task: TrainTask) -> np.ndarray:
+    """Run one generic replay task; returns the update's index set."""
+    data = ClientData(client_id=-1, x=task.x, y=task.y)
+    update = _train_once(
+        ctx.model, task.weights, data, task.training, task.entropy,
+        task.stream, task.stream, (*task.seed_key, 0),
+    )
+    return update.indices

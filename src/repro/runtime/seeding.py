@@ -1,0 +1,71 @@
+"""Deterministic per-task seed derivation for the cohort runtime.
+
+Every source of client-side randomness -- the local-SGD batch order,
+the ``random_k`` sparsifier, QSGD stochastic quantization, the model's
+dropout masks, the fault injector's coin flips, and the encryption
+nonce -- is derived from one base entropy plus a structured key
+``(stream, round, client, ...)`` through :class:`numpy.random.SeedSequence`.
+Because the derivation depends only on *identity* (which round, which
+client) and never on execution order, worker count, or completion
+order, every executor produces bit-identical :class:`LocalUpdate`s:
+the property BlazeFL calls simulation-reproducibility, and the one the
+determinism suite in ``tests/test_runtime.py`` pins.
+
+Streams partition the derived namespace so that, e.g., the fault
+injector's draws can never collide with (and therefore perturb) the
+training stream of the same ``(round, client)`` pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.models import Dropout, Sequential
+
+#: Stream indices: the first spawn-key component, one per randomness
+#: consumer.  Never renumber -- results are pinned by tests.
+STREAM_TRAIN = 0    # local-SGD batch order, random_k, quantization
+STREAM_MODEL = 1    # dropout-layer masks (one sub-stream per layer)
+STREAM_FAULT = 2    # fault-injector coin flips and delay draws
+STREAM_NONCE = 3    # per-(round, client) encryption nonce
+STREAM_TEACHER = 4  # attack teacher replay (round, label, shard)
+
+
+def seed_sequence(entropy: int, stream: int, *key: int) -> np.random.SeedSequence:
+    """The SeedSequence identified by ``(entropy, stream, *key)``.
+
+    ``key`` components must be non-negative integers (SeedSequence
+    spawn keys are uint32 words).
+    """
+    if any(k < 0 for k in key):
+        raise ValueError(f"seed key components must be >= 0, got {key}")
+    return np.random.SeedSequence(entropy=entropy, spawn_key=(stream, *key))
+
+
+def derive_rng(entropy: int, stream: int, *key: int) -> np.random.Generator:
+    """A fresh Generator on the ``(entropy, stream, *key)`` stream."""
+    return np.random.default_rng(seed_sequence(entropy, stream, *key))
+
+
+def reseed_model(model: Sequential, entropy: int, stream: int, *key: int) -> None:
+    """Re-key every stochastic layer of ``model`` deterministically.
+
+    Dropout layers carry their own Generator; a model trained by two
+    different workers must draw identical masks, so each layer gets the
+    sub-stream ``(entropy, stream, *key, layer_index)``.
+    """
+    for i, layer in enumerate(model.layers):
+        if isinstance(layer, Dropout):
+            layer._rng = derive_rng(entropy, stream, *key, i)
+
+
+def derive_nonce(entropy: int, round_index: int, client_id: int) -> bytes:
+    """A deterministic 16-byte encryption nonce per ``(round, client)``.
+
+    Unique per message (the key namespace guarantees no two jobs share
+    a ``(round, client)`` pair within a deployment), so keystream reuse
+    cannot occur; determinism makes whole ciphertexts replayable
+    bit-for-bit across executors and re-runs.
+    """
+    seq = seed_sequence(entropy, STREAM_NONCE, round_index, client_id)
+    return seq.generate_state(4, np.uint32).tobytes()

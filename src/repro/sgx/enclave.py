@@ -22,6 +22,7 @@ observes its access pattern through :class:`repro.sgx.observer.SideChannelObserv
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -102,6 +103,11 @@ class Enclave:
         self._allocated_bytes = 0
         self._region_counter = 0
         self._sampled: set[int] = set()
+        # Per-round replay defence: which clients already contributed
+        # and the digests of accepted ciphertexts.  Both reset at the
+        # next secure sampling (a new round).
+        self._loaded_clients: set[int] = set()
+        self._seen_digests: set[bytes] = set()
 
     # ------------------------------------------------------------------
     # Attestation / provisioning
@@ -160,12 +166,48 @@ class Enclave:
                 # Guarantee progress on tiny populations: resample one.
                 sampled = [population[self._rng.randrange(len(population))]]
             self._sampled = set(sampled)
+            self._loaded_clients = set()
+            self._seen_digests = set()
         return sampled
 
     @property
     def sampled_clients(self) -> set[int]:
         """This round's securely sampled participant set."""
         return set(self._sampled)
+
+    def _guard_upload(
+        self, client_id: int, ciphertext: crypto.Ciphertext
+    ) -> bytes:
+        """Replay defence, checked *before* spending a decryption.
+
+        One contribution per sampled client per round, and no
+        ciphertext may be accepted twice -- a replayed (or duplicated)
+        upload would double a client's weight in the aggregate.
+        """
+        if client_id not in self._sampled:
+            obs.add("enclave.gradients_rejected")
+            raise EnclaveSecurityError(
+                f"client {client_id} was not securely sampled this round"
+            )
+        digest = hashlib.sha256(ciphertext.to_bytes()).digest()
+        if client_id in self._loaded_clients:
+            obs.add("enclave.gradients_rejected")
+            obs.add("runtime.rejected")
+            raise EnclaveSecurityError(
+                f"client {client_id} already contributed this round"
+            )
+        if digest in self._seen_digests:
+            obs.add("enclave.gradients_rejected")
+            obs.add("runtime.rejected")
+            raise EnclaveSecurityError(
+                f"client {client_id}: replayed ciphertext"
+            )
+        return digest
+
+    def _record_upload(self, client_id: int, digest: bytes) -> None:
+        """Mark an upload accepted (only after successful decryption)."""
+        self._loaded_clients.add(client_id)
+        self._seen_digests.add(digest)
 
     def load_gradient(
         self, client_id: int, ciphertext: crypto.Ciphertext
@@ -177,11 +219,7 @@ class Enclave:
         the injection defence of Algorithm 1 line 8.
         """
         with obs.span("ecall.load_gradient", client=client_id):
-            if client_id not in self._sampled:
-                obs.add("enclave.gradients_rejected")
-                raise EnclaveSecurityError(
-                    f"client {client_id} was not securely sampled this round"
-                )
+            digest = self._guard_upload(client_id, ciphertext)
             key = self.keystore.get(client_id)
             try:
                 payload = crypto.open_sealed(key, ciphertext)
@@ -190,6 +228,7 @@ class Enclave:
                 raise EnclaveSecurityError(
                     f"client {client_id}: gradient failed authentication"
                 ) from exc
+            self._record_upload(client_id, digest)
             obs.add("enclave.gradients_loaded")
             obs.add("enclave.bytes_decrypted", len(ciphertext.body))
             return crypto.decode_sparse_gradient(payload)
@@ -199,11 +238,7 @@ class Enclave:
     ) -> tuple[list[int], list[float]]:
         """Decrypt, verify, and dequantize a compact client upload."""
         with obs.span("ecall.load_quantized_gradient", client=client_id):
-            if client_id not in self._sampled:
-                obs.add("enclave.gradients_rejected")
-                raise EnclaveSecurityError(
-                    f"client {client_id} was not securely sampled this round"
-                )
+            digest = self._guard_upload(client_id, ciphertext)
             key = self.keystore.get(client_id)
             try:
                 payload = crypto.open_sealed(key, ciphertext)
@@ -212,6 +247,7 @@ class Enclave:
                 raise EnclaveSecurityError(
                     f"client {client_id}: gradient failed authentication"
                 ) from exc
+            self._record_upload(client_id, digest)
             obs.add("enclave.gradients_loaded")
             obs.add("enclave.bytes_decrypted", len(ciphertext.body))
             indices, levels, scale = crypto.decode_quantized_gradient(payload)
