@@ -1,0 +1,161 @@
+"""Mega-cohort client-path benchmark: vectorized vs serial executor.
+
+Times one full client round -- local training, sparsification, L2
+clipping, and authenticated encryption for every sampled client --
+through the serial reference executor and the vectorized executor that
+processes the whole cohort as stacked tensors (batched seed
+derivation, batched training, axis-1 sparsification, chunked batched
+sealing).
+
+The workload models cross-device federated learning: many clients,
+each holding a small shard and training with a small local batch, so
+the serial path is dominated by per-client Python/numpy dispatch
+overhead that the vectorized path amortizes across the cohort.
+
+Before any number is reported, the vectorized executor is asserted
+**bit-identical** to serial on a 256-client cohort -- ciphertext bytes
+included.  A speedup that changed a single byte would be a bug, not a
+win.
+
+Set ``MEGACOHORT_BENCH_QUICK=1`` for the reduced CI workload (1024
+clients, with a >= 10x speedup floor also enforced by the regression
+gate).  The full run sweeps cohort sizes up to 10^5 clients, timing
+the serial reference directly up to 4096 clients and extrapolating it
+linearly beyond (serial cost is per-client by construction).
+"""
+
+import os
+import time
+
+from repro.fl.client import TrainingConfig
+from repro.fl.datasets import SPECS, SyntheticClassData, partition_clients
+from repro.fl.models import build_model
+from repro.runtime import CohortRuntime, RuntimeConfig
+from repro.sgx import crypto
+
+from .common import print_table, save_results
+
+QUICK = bool(os.environ.get("MEGACOHORT_BENCH_QUICK"))
+
+#: Cross-device client workload: 64-sample shards, batch 4, 2 local
+#: epochs of DP-FedAVG with top-k sparsification, sealed uploads.
+SAMPLES_PER_CLIENT = 64
+TRAIN = TrainingConfig(local_epochs=2, local_lr=0.2, batch_size=4,
+                       sparse_ratio=0.1, clip=1.0, sparsifier="top_k")
+
+IDENTITY_CLIENTS = 256
+QUICK_CLIENTS = 1024
+#: Serial is timed directly up to this size and extrapolated beyond.
+SERIAL_CAP = 4096
+FULL_SWEEP = (4096, 16384, 65536, 100_000)
+MIN_VECTORIZED_SPEEDUP = 10.0
+
+
+def _build(executor, n_clients):
+    gen = SyntheticClassData(SPECS["tiny"], seed=0)
+    clients = partition_clients(gen, n_clients, SAMPLES_PER_CLIENT, 2,
+                                seed=0)
+    model = build_model("tiny_mlp", seed=0)
+    keys = {c.client_id: crypto.generate_key(b"k%d" % c.client_id)
+            for c in clients}
+    runtime = CohortRuntime(RuntimeConfig(executor=executor), model,
+                            clients, entropy=11, keys=keys)
+    return runtime, [c.client_id for c in clients], model.get_flat()
+
+
+def _time_round(executor, n_clients, reps=3, warm=1):
+    """Best-of-``reps`` wall seconds for one cohort round (after
+    ``warm`` warm-up rounds that populate caches and allocators)."""
+    runtime, cohort, weights = _build(executor, n_clients)
+    times = []
+    with runtime:
+        for r in range(warm + reps):
+            t0 = time.perf_counter()
+            runtime.run_cohort(r, cohort, weights, TRAIN)
+            elapsed = time.perf_counter() - t0
+            if r >= warm:
+                times.append(elapsed)
+    return min(times)
+
+
+def _assert_identical(n_clients):
+    """Serial and vectorized must agree byte-for-byte (ciphertexts)."""
+    deliveries = {}
+    for executor in ("serial", "vectorized"):
+        runtime, cohort, weights = _build(executor, n_clients)
+        with runtime:
+            result = runtime.run_cohort(0, cohort, weights, TRAIN)
+        deliveries[executor] = {
+            d.client_id: d.ciphertext.to_bytes() for d in result.deliveries
+        }
+    assert deliveries["serial"] == deliveries["vectorized"], (
+        "vectorized executor diverged from the serial reference"
+    )
+
+
+def test_megacohort_speedup():
+    _assert_identical(IDENTITY_CLIENTS)
+
+    series = []
+    if QUICK:
+        sweep = (QUICK_CLIENTS,)
+        serial_reps, vector_reps = 2, 3
+    else:
+        sweep = FULL_SWEEP
+        serial_reps, vector_reps = 2, 2
+
+    serial_per_client = None
+    quick_speedup = None
+    for n in sweep:
+        vector_wall = _time_round("vectorized", n, reps=vector_reps)
+        if n <= SERIAL_CAP or QUICK:
+            serial_wall = _time_round("serial", n, reps=serial_reps)
+            serial_per_client = serial_wall / n
+            serial_kind = "measured"
+        else:
+            serial_wall = serial_per_client * n
+            serial_kind = "extrapolated"
+        speedup = serial_wall / vector_wall
+        if n == QUICK_CLIENTS:
+            quick_speedup = speedup
+        series.append({
+            "n_clients": n,
+            "serial_seconds": serial_wall,
+            "serial_kind": serial_kind,
+            "vectorized_seconds": vector_wall,
+            "speedup": speedup,
+        })
+
+    print_table(
+        f"Mega-cohort client path: {SAMPLES_PER_CLIENT} samples/client, "
+        f"batch {TRAIN.batch_size}, {TRAIN.local_epochs} epochs, sealed "
+        f"top-k uploads",
+        ["clients", "serial s", "", "vectorized s", "speedup"],
+        [[r["n_clients"], f"{r['serial_seconds']:.2f}",
+          r["serial_kind"], f"{r['vectorized_seconds']:.2f}",
+          f"{r['speedup']:.1f}x"] for r in series],
+    )
+
+    payload = {
+        "workload": {
+            "samples_per_client": SAMPLES_PER_CLIENT,
+            "batch_size": TRAIN.batch_size,
+            "local_epochs": TRAIN.local_epochs,
+            "sparsifier": TRAIN.sparsifier,
+            "sealed": True,
+            "quick": QUICK,
+        },
+        "series": series,
+    }
+    if quick_speedup is not None:
+        payload["vectorized_speedup"] = quick_speedup
+    save_results("megacohort", payload)
+
+    # Acceptance bar: the vectorized executor must clear 10x over the
+    # serial reference on the 1024-client workload (the floor is also
+    # enforced by the CI regression gate on the saved payload).
+    if quick_speedup is not None:
+        assert quick_speedup >= MIN_VECTORIZED_SPEEDUP
+    # The full sweep must complete a 10^5-client round.
+    if not QUICK:
+        assert series[-1]["n_clients"] == 100_000

@@ -49,6 +49,13 @@ def _parse_args(argv: Sequence[str]) -> argparse.Namespace:
              "pool (results are bit-identical to serial)",
     )
     parser.add_argument(
+        "--executor", choices=("serial", "thread", "process", "vectorized"),
+        default=None,
+        help="cohort executor override; 'vectorized' trains the whole "
+             "cohort as stacked tensors (default: thread when "
+             "--workers > 1, else serial)",
+    )
+    parser.add_argument(
         "--dropout-rate", type=float, metavar="P", default=0.0,
         help="inject client dropouts at rate P per (round, client); "
              "the accountant then charges realized cohort sizes",
@@ -90,8 +97,9 @@ def main(argv: Sequence[str] | None = None) -> None:
         training=TrainingConfig(local_epochs=2, local_lr=0.3,
                                 sparse_ratio=0.1),
     )
+    executor = args.executor or ("thread" if args.workers > 1 else "serial")
     runtime = RuntimeConfig(
-        executor="thread" if args.workers > 1 else "serial",
+        executor=executor,
         workers=max(1, args.workers),
         faults=FaultConfig(dropout_rate=args.dropout_rate),
     )

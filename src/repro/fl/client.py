@@ -14,8 +14,22 @@ import numpy as np
 
 from ..sgx import crypto
 from .datasets import ClientData
-from .models import Sequential, softmax_cross_entropy
-from .sparsify import l2_clip, random_k, threshold, top_ratio
+from .models import (
+    BatchedSequential,
+    Sequential,
+    softmax_cross_entropy,
+    softmax_cross_entropy_batch,
+)
+from .sparsify import (
+    l2_clip,
+    l2_clip_batch,
+    random_k,
+    random_k_batch,
+    threshold,
+    threshold_batch,
+    top_ratio,
+    top_ratio_batch,
+)
 
 
 @dataclass(frozen=True)
@@ -126,12 +140,133 @@ def compute_update(
     """EncClient lines 15-22: train, sparsify, L2-clip.
 
     ``clip_override`` supports server-broadcast adaptive clipping
-    (Andrew et al.): when set, it replaces ``config.clip`` this round.
+    (Andrew et al.): when set -- including to an invalid ``0.0``, which
+    :func:`~repro.fl.sparsify.l2_clip` rejects loudly rather than
+    silently falling back to ``config.clip`` -- it replaces
+    ``config.clip`` this round.
     """
     delta = local_train(model, global_weights, data, config, rng)
     indices, values = sparsify_delta(delta, config, rng)
-    values = l2_clip(values, clip_override or config.clip)
+    clip = clip_override if clip_override is not None else config.clip
+    values = l2_clip(values, clip)
     return LocalUpdate(client_id=data.client_id, indices=indices, values=values)
+
+
+# ----------------------------------------------------------------------
+# Batched (mega-cohort) client path
+# ----------------------------------------------------------------------
+#
+# The vectorized executor processes an entire cohort as stacked tensors:
+# one batched local-training run over ``(C, n, features)`` data, one
+# axis-1 sparsification over the ``(C, d)`` delta stack, one batched L2
+# clip.  Per-client randomness still comes from each client's own
+# derived Generators (the caller supplies them), so every row is
+# bit-identical to :func:`compute_update` run serially for that client.
+
+
+def local_train_batch(
+    model: Sequential,
+    global_weights: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    config: TrainingConfig,
+    train_rngs: list[np.random.Generator],
+    dropout_rngs: list[dict[int, np.random.Generator]],
+) -> np.ndarray:
+    """Batched :func:`local_train`: returns the ``(C, d)`` delta stack.
+
+    ``xs``/``ys`` stack C same-shape client shards; ``train_rngs`` are
+    the per-client training Generators (consumed exactly as serially:
+    one permutation per epoch, leaving the stream positioned for the
+    sparsifier); ``dropout_rngs[c]`` maps template-layer index to client
+    ``c``'s dropout Generator (:func:`~repro.runtime.seeding.reseed_model`'s
+    sub-streams).
+    """
+    c, n = ys.shape[0], ys.shape[1]
+    batched = BatchedSequential(model, global_weights, c)
+    if config.algorithm == "fedsgd":
+        batched.begin_training(n, dropout_rngs)
+        logits = batched.forward(xs, train=True)
+        dlogits = softmax_cross_entropy_batch(logits, ys)
+        batched.backward(dlogits)
+        batched.sgd_step(config.local_lr)
+        return batched.get_flat() - global_weights
+    batched.begin_training(config.local_epochs * n, dropout_rngs)
+    row_index = np.arange(c)[:, None]
+    for _ in range(config.local_epochs):
+        orders = np.empty((c, n), dtype=np.int64)
+        for i, rng in enumerate(train_rngs):
+            orders[i] = rng.permutation(n)
+        # One gather for the whole epoch; per-step batches are views of
+        # it (same elements as the serial per-batch gather).
+        ex = xs[row_index, orders]
+        ey = ys[row_index, orders]
+        for start in range(0, n, config.batch_size):
+            stop = start + config.batch_size
+            logits = batched.forward(ex[:, start:stop], train=True)
+            dlogits = softmax_cross_entropy_batch(logits, ey[:, start:stop])
+            batched.backward(dlogits)
+            batched.sgd_step(config.local_lr)
+    return batched.get_flat() - global_weights
+
+
+def sparsify_delta_batch(
+    deltas: np.ndarray,
+    config: TrainingConfig,
+    rngs: list[np.random.Generator],
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Batched :func:`sparsify_delta` over a ``(C, d)`` delta stack."""
+    if config.sparsifier == "top_k":
+        indices, values = top_ratio_batch(deltas, config.sparse_ratio)
+        return list(zip(indices, values))
+    if config.sparsifier == "threshold":
+        return threshold_batch(deltas, config.threshold_tau)
+    k = max(1, int(np.ceil(config.sparse_ratio * deltas.shape[1])))
+    indices, values = random_k_batch(deltas, k, rngs)
+    return list(zip(indices, values))
+
+
+def compute_updates_batch(
+    model: Sequential,
+    global_weights: np.ndarray,
+    datas: list[ClientData],
+    config: TrainingConfig,
+    train_rngs: list[np.random.Generator],
+    dropout_rngs: list[dict[int, np.random.Generator]],
+    clip_override: float | None = None,
+) -> list[LocalUpdate]:
+    """Batched :func:`compute_update` for C same-shape client shards.
+
+    Every returned :class:`LocalUpdate` is bit-identical to the serial
+    call for that client (same Generators, same operations per client
+    slice) -- the contract the vectorized executor's equivalence suite
+    enforces.
+    """
+    xs = np.stack([d.x for d in datas])
+    ys = np.stack([d.y for d in datas])
+    deltas = local_train_batch(
+        model, global_weights, xs, ys, config, train_rngs, dropout_rngs
+    )
+    clip = clip_override if clip_override is not None else config.clip
+    if config.sparsifier == "threshold":
+        # Ragged output: training and selection are batched; the final
+        # per-row clip reuses the scalar kernel on each short row.
+        sparse = threshold_batch(deltas, config.threshold_tau)
+        return [
+            LocalUpdate(client_id=data.client_id, indices=idx,
+                        values=l2_clip(val, clip))
+            for data, (idx, val) in zip(datas, sparse)
+        ]
+    if config.sparsifier == "top_k":
+        indices, values = top_ratio_batch(deltas, config.sparse_ratio)
+    else:
+        k = max(1, int(np.ceil(config.sparse_ratio * deltas.shape[1])))
+        indices, values = random_k_batch(deltas, k, train_rngs)
+    values = l2_clip_batch(values, clip)
+    return [
+        LocalUpdate(client_id=data.client_id, indices=idx, values=val)
+        for data, idx, val in zip(datas, indices, values)
+    ]
 
 
 def encrypt_update(update: LocalUpdate, key: bytes) -> crypto.Ciphertext:

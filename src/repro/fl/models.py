@@ -304,6 +304,287 @@ class Sequential:
             p -= lr * g
 
 
+# ----------------------------------------------------------------------
+# Batched (mega-cohort) execution: a whole cohort as one tensor
+# ----------------------------------------------------------------------
+#
+# The cohort runtime's ``vectorized`` executor trains every sampled
+# client in one stack of numpy tensors with a leading client axis:
+# weights ``(C, in, out)``, activations ``(C, batch, features)``.  Each
+# batched layer performs, per client slice, *exactly* the operations of
+# its scalar counterpart above (same matmuls, same reductions, same
+# elementwise ops), so the per-client results are bit-identical to a
+# serial loop of ``Sequential`` -- the equivalence contract pinned by
+# ``tests/test_vectorized_cohort.py``.  Only layers whose batched form
+# preserves that contract are supported (the paper's MLP family); see
+# :func:`supports_batched_training`.
+
+
+class BatchedLinear:
+    """A stack of C independent :class:`Linear` layers.
+
+    ``compute_dx`` is cleared on the first layer of a stack: its input
+    gradient is discarded by every caller, and at mega-cohort scale the
+    skipped batched matmul is measurable (the serial path computes and
+    discards it; the bits that matter are unaffected).
+    """
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray) -> None:
+        self.weight = weight          # (C, in, out)
+        self.bias = bias              # (C, out)
+        self.grad_weight = np.zeros_like(weight)
+        self.grad_bias = np.zeros_like(bias)
+        self.compute_dx = True
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        self._x = x
+        return np.matmul(x, self.weight) + self.bias[:, None, :]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None
+        self.grad_weight = np.matmul(self._x.transpose(0, 2, 1), grad_out)
+        self.grad_bias = grad_out.sum(axis=1)
+        if not self.compute_dx:
+            return grad_out
+        return np.matmul(grad_out, self.weight.transpose(0, 2, 1))
+
+    def sgd_step(self, lr: float) -> None:
+        self.weight -= lr * self.grad_weight
+        self.bias -= lr * self.grad_bias
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+
+class BatchedReLU:
+    """Elementwise ReLU over the stacked activations."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._mask
+
+    def sgd_step(self, lr: float) -> None:
+        pass
+
+    def params(self) -> list[np.ndarray]:
+        return []
+
+
+class BatchedDropout:
+    """C independent inverted-dropout layers with pre-drawn masks.
+
+    The serial :class:`Dropout` draws one ``rng.random(x.shape)`` per
+    forward call from its layer-private Generator.  ``Generator.random``
+    fills row-major from a sequential bit stream, so drawing all of a
+    client's masks in one ``(total_rows, width)`` call yields exactly
+    the concatenation of the per-batch draws -- one RNG call per client
+    per layer instead of one per batch.  Masks are stored as booleans
+    and divided by the keep rate at apply time (``True / keep`` equals
+    the serial ``(draw < keep) / keep`` bit for bit).
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.p = p
+        self._rngs: list[np.random.Generator] | None = None
+        self._total_rows = 0
+        self._pool: np.ndarray | None = None   # (C, total_rows, width) float
+        self._cursor = 0
+        self._mask: np.ndarray | None = None
+
+    def begin(self, total_rows: int, rngs: list[np.random.Generator]) -> None:
+        """Arm the layer for one local-training run of ``total_rows``."""
+        self._rngs = rngs
+        self._total_rows = total_rows
+        self._pool = None
+        self._cursor = 0
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if not train or self.p == 0.0:
+            self._mask = None
+            return x
+        assert self._rngs is not None, "begin() not called"
+        keep = 1.0 - self.p
+        if self._pool is None:
+            width = x.shape[-1]
+            pool = np.empty((len(self._rngs), self._total_rows, width),
+                            dtype=bool)
+            for i, rng in enumerate(self._rngs):
+                pool[i] = rng.random((self._total_rows, width)) < keep
+            # Divide the whole run's masks by the keep rate once; the
+            # per-step slices below are then allocation-free views.
+            self._pool = pool / keep
+        b = x.shape[1]
+        self._mask = self._pool[:, self._cursor : self._cursor + b, :]
+        self._cursor += b
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+    def sgd_step(self, lr: float) -> None:
+        pass
+
+    def params(self) -> list[np.ndarray]:
+        return []
+
+
+class BatchedFlatten:
+    """Collapse (C, b, ...) feature maps to (C, b, features)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+    def sgd_step(self, lr: float) -> None:
+        pass
+
+    def params(self) -> list[np.ndarray]:
+        return []
+
+
+#: Template layers with a bit-identical batched counterpart.
+_BATCHABLE_LAYERS = (Linear, ReLU, Dropout, Flatten)
+
+
+def supports_batched_training(model: Sequential) -> bool:
+    """True when every layer of ``model`` has a batched counterpart."""
+    return all(isinstance(layer, _BATCHABLE_LAYERS) for layer in model.layers)
+
+
+class BatchedSequential:
+    """C independent copies of one :class:`Sequential`, as tensor stacks.
+
+    Initialized from a template architecture and one flat global weight
+    vector: every client starts at the broadcast weights (the serial
+    path's ``set_flat``) and diverges through its own data and dropout
+    masks while sharing each layer's batched matmul.
+    """
+
+    def __init__(
+        self,
+        template: Sequential,
+        global_weights: np.ndarray,
+        n_clients: int,
+    ) -> None:
+        if not supports_batched_training(template):
+            unsupported = sorted(
+                {type(layer).__name__ for layer in template.layers
+                 if not isinstance(layer, _BATCHABLE_LAYERS)}
+            )
+            raise ValueError(
+                f"layers without a batched counterpart: {unsupported}"
+            )
+        if global_weights.size != template.num_params:
+            raise ValueError(
+                f"expected {template.num_params} parameters, "
+                f"got {global_weights.size}"
+            )
+        self.n_clients = n_clients
+        self.layers: list = []
+        self._dropout_indices: list[int] = []
+        offset = 0
+
+        def stacked(shape: tuple[int, ...]) -> np.ndarray:
+            nonlocal offset
+            size = int(np.prod(shape)) if shape else 1
+            flat = global_weights[offset : offset + size]
+            offset += size
+            out = np.empty((n_clients,) + shape)
+            out[:] = flat.reshape(shape)
+            return out
+
+        for i, layer in enumerate(template.layers):
+            if isinstance(layer, Linear):
+                self.layers.append(BatchedLinear(
+                    stacked(layer.weight.shape), stacked(layer.bias.shape)
+                ))
+            elif isinstance(layer, ReLU):
+                self.layers.append(BatchedReLU())
+            elif isinstance(layer, Dropout):
+                self.layers.append(BatchedDropout(layer.p))
+                self._dropout_indices.append(i)
+            elif isinstance(layer, Flatten):
+                self.layers.append(BatchedFlatten())
+        if self.layers and isinstance(self.layers[0], BatchedLinear):
+            self.layers[0].compute_dx = False
+
+    @property
+    def dropout_indices(self) -> list[int]:
+        """Template-layer indices of the dropout layers (seeding keys)."""
+        return list(self._dropout_indices)
+
+    def begin_training(
+        self,
+        total_rows: int,
+        dropout_rngs: list[dict[int, np.random.Generator]],
+    ) -> None:
+        """Arm dropout layers for one run consuming ``total_rows`` rows.
+
+        ``dropout_rngs[c][i]`` is client ``c``'s Generator for the
+        dropout layer at template index ``i`` -- the same sub-stream
+        :func:`repro.runtime.seeding.reseed_model` assigns serially.
+        """
+        for i in self._dropout_indices:
+            self.layers[i].begin(
+                total_rows, [per_client[i] for per_client in dropout_rngs]
+            )
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def sgd_step(self, lr: float) -> None:
+        for layer in self.layers:
+            layer.sgd_step(lr)
+
+    def get_flat(self) -> np.ndarray:
+        """Per-client flat parameter vectors, stacked to ``(C, d)``."""
+        parts = [p for layer in self.layers for p in layer.params()]
+        if not parts:
+            return np.empty((self.n_clients, 0))
+        return np.concatenate(
+            [p.reshape(self.n_clients, -1) for p in parts], axis=1
+        )
+
+
+def softmax_cross_entropy_batch(
+    logits: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Batched loss gradient: per-client slices bit-identical to
+    :func:`softmax_cross_entropy`'s ``dlogits`` (the loss value itself is
+    not needed for training and is skipped)."""
+    shifted = logits - logits.max(axis=2, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=2, keepdims=True)
+    c, n = labels.shape
+    dlogits = probs
+    dlogits[np.arange(c)[:, None], np.arange(n)[None, :], labels] -= 1.0
+    return dlogits / n
+
+
 def softmax_cross_entropy(
     logits: np.ndarray, labels: np.ndarray
 ) -> tuple[float, np.ndarray]:

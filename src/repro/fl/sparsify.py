@@ -54,6 +54,105 @@ def random_k(
     return chosen, delta[chosen].astype(np.float64)
 
 
+# ----------------------------------------------------------------------
+# Batched (mega-cohort) variants: one call for a whole (C, d) stack
+# ----------------------------------------------------------------------
+#
+# Each ``*_batch`` function applies the corresponding scalar sparsifier
+# above to every row of a stacked delta tensor, producing bit-identical
+# per-row results (numpy's axis-1 ``argpartition``/``sort``/``nonzero``
+# run the same per-row routine the 1-D calls do; the equivalence suite
+# pins this).
+
+
+def top_k_batch(deltas: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`top_k` over a ``(C, d)`` stack -> ``(C, k)`` pairs."""
+    d = deltas.shape[1]
+    if not 1 <= k <= d:
+        raise ValueError(f"k must be in [1, {d}], got {k}")
+    chosen = np.argpartition(np.abs(deltas), d - k, axis=1)[:, d - k :]
+    chosen.sort(axis=1)
+    values = np.take_along_axis(deltas, chosen, axis=1)
+    return chosen.astype(np.int64), values.astype(np.float64)
+
+
+def top_ratio_batch(
+    deltas: np.ndarray, alpha: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`top_ratio` (k = ceil(alpha * d), same k per row)."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("sparse ratio must be in (0, 1]")
+    k = max(1, int(np.ceil(alpha * deltas.shape[1])))
+    return top_k_batch(deltas, k)
+
+
+def threshold_batch(
+    deltas: np.ndarray, tau: float
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Row-wise :func:`threshold`; ragged, so returns per-row pairs.
+
+    Rows where nothing survives fall back to the single largest-|.|
+    coordinate, matching the serial never-send-empty rule in
+    :func:`repro.fl.client.sparsify_delta`.
+    """
+    if tau < 0:
+        raise ValueError("threshold must be non-negative")
+    mask = np.abs(deltas) >= tau
+    counts = mask.sum(axis=1)
+    rows, cols = np.nonzero(mask)              # row-major: cols ascending per row
+    cuts = np.cumsum(counts)[:-1]
+    idx_rows = np.split(cols.astype(np.int64), cuts)
+    val_rows = np.split(deltas[rows, cols].astype(np.float64), cuts)
+    out = []
+    for c, (idx, val) in enumerate(zip(idx_rows, val_rows)):
+        if len(idx) == 0:
+            idx, val = top_k(deltas[c], 1)
+        out.append((idx, val))
+    return out
+
+
+def random_k_batch(
+    deltas: np.ndarray, k: int, rngs: list[np.random.Generator]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`random_k`, one per-client Generator per row.
+
+    The index draws stay a per-row loop (each row consumes its own
+    stream, exactly as the serial path does); the value gather is
+    vectorized.
+    """
+    c, d = deltas.shape
+    if not 1 <= k <= d:
+        raise ValueError(f"k must be in [1, {d}], got {k}")
+    if len(rngs) != c:
+        raise ValueError("one Generator per row required")
+    chosen = np.empty((c, k), dtype=np.int64)
+    for i, rng in enumerate(rngs):
+        chosen[i] = np.sort(rng.choice(d, size=k, replace=False))
+    values = np.take_along_axis(deltas, chosen, axis=1)
+    return chosen, values.astype(np.float64)
+
+
+def l2_clip_batch(values: np.ndarray, clip: float) -> np.ndarray:
+    """Row-wise :func:`l2_clip` over ``(C, k)`` values.
+
+    Row norms are computed via a batched matmul (one BLAS dot per row,
+    the exact kernel ``np.linalg.norm`` uses for 1-D input), so the
+    scaling decision and the scaled bits match the serial path exactly.
+    """
+    if clip <= 0:
+        raise ValueError("clipping bound must be positive")
+    out = values.astype(np.float64, copy=True)
+    if out.shape[1] == 0:
+        return out
+    norms = np.sqrt(
+        np.matmul(out[:, None, :], out[:, :, None])[:, 0, 0]
+    )
+    over = norms > clip
+    if np.any(over):
+        out[over] = out[over] * (clip / norms[over])[:, None]
+    return out
+
+
 def densify(indices: np.ndarray, values: np.ndarray, d: int) -> np.ndarray:
     """Expand a sparse gradient back to a dense length-d vector.
 

@@ -3,7 +3,8 @@
 The subsystem OLIVE's round loop submits sampled cohorts through:
 
 * pluggable executors (``serial`` | ``thread`` | ``process`` with
-  shared-memory model broadcast) -- :mod:`repro.runtime.executors`;
+  shared-memory model broadcast | ``vectorized`` whole-cohort tensor
+  batching) -- :mod:`repro.runtime.executors`;
 * per-``(round, client)`` seed derivation making every executor
   bit-identical -- :mod:`repro.runtime.seeding`;
 * deterministic fault injection (dropout, stragglers, corrupt/replayed
@@ -42,6 +43,7 @@ from .jobs import (
     TransientWorkerError,
     WorkerContext,
     execute_client_job,
+    execute_client_jobs_batch,
     execute_train_task,
 )
 from .seeding import (
@@ -51,7 +53,9 @@ from .seeding import (
     STREAM_TEACHER,
     STREAM_TRAIN,
     derive_nonce,
+    derive_nonces_batch,
     derive_rng,
+    derive_rngs_batch,
     reseed_model,
     seed_sequence,
 )
@@ -83,8 +87,11 @@ __all__ = [
     "TransientWorkerError",
     "WorkerContext",
     "derive_nonce",
+    "derive_nonces_batch",
     "derive_rng",
+    "derive_rngs_batch",
     "execute_client_job",
+    "execute_client_jobs_batch",
     "execute_train_task",
     "make_executor",
     "reseed_model",

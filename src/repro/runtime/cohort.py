@@ -131,7 +131,8 @@ class CohortRuntime:
     def _ensure_executor(self):
         if self._executor is None:
             self._executor = make_executor(self.config.executor,
-                                           self.config.workers)
+                                           self.config.workers,
+                                           vector_chunk=self.config.vector_chunk)
             self._executor.start(self._model, self._clients, self._d)
         return self._executor
 

@@ -35,10 +35,17 @@ class RuntimeConfig:
     of the configured sampling rate; ``None`` (default) enables it
     exactly when fault injection is active, keeping fault-free
     deployments on the paper's fixed-q accounting.
+
+    ``vector_chunk`` bounds how many clients the ``vectorized``
+    executor stacks into one tensor batch -- peak memory grows with
+    ``chunk * d`` while throughput saturates well below the default,
+    so mega-cohorts stream through in constant space.  Ignored by the
+    loop executors.
     """
 
     executor: str = "serial"
     workers: int = 4
+    vector_chunk: int = 8192
     client_timeout_s: float | None = None
     max_retries: int = 2
     backoff_base_s: float = 0.01
@@ -54,6 +61,8 @@ class RuntimeConfig:
             )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.vector_chunk < 1:
+            raise ValueError("vector_chunk must be >= 1")
         if not 0.0 <= self.min_quorum <= 1.0:
             raise ValueError("min_quorum must be in [0, 1]")
         if self.max_retries < 0:

@@ -26,11 +26,24 @@ from typing import Any
 
 import numpy as np
 
-from ..fl.client import LocalUpdate, TrainingConfig, compute_update
+from ..fl.client import (
+    LocalUpdate,
+    TrainingConfig,
+    compute_update,
+    compute_updates_batch,
+)
 from ..fl.datasets import ClientData
-from ..fl.models import Sequential
+from ..fl.models import Dropout, Sequential
 from ..sgx import crypto
-from .seeding import STREAM_MODEL, STREAM_TRAIN, derive_nonce, derive_rng, reseed_model
+from .seeding import (
+    STREAM_MODEL,
+    STREAM_TRAIN,
+    derive_nonce,
+    derive_nonces_batch,
+    derive_rng,
+    derive_rngs_batch,
+    reseed_model,
+)
 
 
 class TransientWorkerError(RuntimeError):
@@ -177,6 +190,132 @@ def execute_client_job(ctx: WorkerContext, job: ClientJob) -> ClientJobResult:
         upload_bytes=len(ciphertext.to_bytes()),
         train_seconds=train_seconds, attempt=job.attempt,
     )
+
+
+def _finalize_result(
+    job: ClientJob, update: LocalUpdate, train_seconds: float,
+    nonce: bytes | None = None,
+    q_rng: np.random.Generator | None = None,
+    payload: bytes | None = None,
+) -> ClientJobResult:
+    """Package one client's update exactly as :func:`execute_client_job`.
+
+    Shared by the serial and batched paths so the sealed bytes (payload
+    encoding, nonce derivation, quantization sub-stream) are produced by
+    one code path.  The batch path pre-derives ``nonce``/``q_rng`` for a
+    whole chunk (one vectorized mixing pass); when absent they are
+    derived per client, identically.
+    """
+    if job.key is None:
+        return ClientJobResult(
+            client_id=job.client_id, round_index=job.round_index,
+            ciphertext=None, indices=update.indices, values=update.values,
+            upload_bytes=0, train_seconds=train_seconds, attempt=job.attempt,
+        )
+    if job.quantize_bits is not None:
+        from ..fl.quantize import quantize_stochastic
+
+        if q_rng is None:
+            q_rng = derive_rng(job.entropy, STREAM_TRAIN,
+                               job.round_index, job.client_id, 1)
+        q = quantize_stochastic(update, job.quantize_bits, q_rng)
+        payload = crypto.encode_quantized_gradient(q.indices, q.levels, q.scale)
+    elif payload is None:
+        payload = crypto.encode_sparse_gradient(update.indices, update.values)
+    if nonce is None:
+        nonce = derive_nonce(job.entropy, job.round_index, job.client_id)
+    ciphertext = crypto.seal(job.key, payload, nonce=nonce)
+    return ClientJobResult(
+        client_id=job.client_id, round_index=job.round_index,
+        ciphertext=ciphertext, indices=None, values=None,
+        upload_bytes=len(ciphertext.to_bytes()),
+        train_seconds=train_seconds, attempt=job.attempt,
+    )
+
+
+def execute_client_jobs_batch(
+    ctx: WorkerContext, jobs: list[ClientJob]
+) -> list[ClientJobResult]:
+    """Run one chunk of client jobs as stacked tensors; pure in (ctx, jobs).
+
+    The mega-cohort hot path: jobs sharing a shard shape and training
+    configuration train as one :func:`~repro.fl.client.compute_updates_batch`
+    call (batched matmuls over a leading client axis), then seal in one
+    contiguous pass.  Per-client randomness is derived from each job's
+    ``(round, client)`` identity exactly as the serial path does, so
+    every returned result -- indices, values, and ciphertext bytes --
+    is bit-identical to :func:`execute_client_job` on the same job.
+
+    Injected delay/failure faults are **not** interpreted here; the
+    vectorized executor adjudicates them before a chunk is formed
+    (faulty rows never enter the batch).
+    """
+    if not jobs:
+        return []
+    dropout_indices = [
+        i for i, layer in enumerate(ctx.model.layers)
+        if isinstance(layer, Dropout)
+    ]
+    # Batch compatibility requires identical tensor shapes and training
+    # hyperparameters; everything per-client (rng streams, keys, clip
+    # application) rides along per row.
+    groups: dict[tuple, list[int]] = {}
+    for pos, job in enumerate(jobs):
+        data = ctx.clients[job.client_id]
+        key = (data.x.shape, data.y.shape, job.training, job.clip,
+               job.entropy, job.round_index)
+        groups.setdefault(key, []).append(pos)
+
+    results: list[ClientJobResult | None] = [None] * len(jobs)
+    for positions in groups.values():
+        chunk = [jobs[p] for p in positions]
+        datas = [ctx.clients[j.client_id] for j in chunk]
+        entropy, round_index = chunk[0].entropy, chunk[0].round_index
+        cids = [j.client_id for j in chunk]
+        # One vectorized SeedSequence pass per stream for the whole
+        # chunk (bit-identical to per-client derive_rng).
+        train_rngs = derive_rngs_batch(entropy, STREAM_TRAIN, round_index, cids)
+        by_layer = {
+            i: derive_rngs_batch(entropy, STREAM_MODEL, round_index, cids, i)
+            for i in dropout_indices
+        }
+        dropout_rngs = [
+            {i: by_layer[i][c] for i in dropout_indices}
+            for c in range(len(chunk))
+        ]
+        t0 = time.perf_counter()
+        updates = compute_updates_batch(
+            ctx.model, ctx.weights, datas, chunk[0].training,
+            train_rngs, dropout_rngs, clip_override=chunk[0].clip,
+        )
+        per_client = (time.perf_counter() - t0) / len(chunk)
+        sealed = any(j.key is not None for j in chunk)
+        nonces = derive_nonces_batch(entropy, round_index, cids) if sealed \
+            else [None] * len(chunk)
+        if sealed and any(j.quantize_bits is not None for j in chunk):
+            q_rngs = derive_rngs_batch(entropy, STREAM_TRAIN, round_index,
+                                       cids, 1)
+        else:
+            q_rngs = [None] * len(chunk)
+        payloads: list[bytes | None] = [None] * len(chunk)
+        if sealed and all(
+            j.key is not None and j.quantize_bits is None for j in chunk
+        ):
+            k0 = updates[0].indices.shape
+            if all(u.indices.shape == k0 for u in updates):
+                # Uniform-k sparsifiers (top_k, random_k): encode the
+                # whole chunk's payloads in one record-array pass.
+                payloads = crypto.encode_sparse_gradients_batch(
+                    np.stack([u.indices for u in updates]),
+                    np.stack([u.values for u in updates]),
+                )
+        for pos, job, update, nonce, q_rng, payload in zip(
+            positions, chunk, updates, nonces, q_rngs, payloads
+        ):
+            results[pos] = _finalize_result(job, update, per_client,
+                                            nonce=nonce, q_rng=q_rng,
+                                            payload=payload)
+    return results  # type: ignore[return-value]
 
 
 def execute_train_task(ctx: WorkerContext, task: TrainTask) -> np.ndarray:

@@ -5,8 +5,9 @@ keys negotiated during remote attestation.  No AES implementation is
 available offline, so this module provides an encrypt-then-MAC scheme
 built from the standard library:
 
-* keystream: SHA-256 in counter mode (``SHA256(key || nonce || counter)``)
-  XORed over the plaintext;
+* keystream: the SHAKE-256 XOF over ``key || nonce``, squeezed to the
+  plaintext length and XORed over it (one C call per message -- the
+  mega-cohort seal path is throughput-bound on this);
 * tag: HMAC-SHA-256 over ``nonce || ciphertext`` with an independent
   subkey.
 
@@ -20,11 +21,14 @@ clients outside the securely sampled set.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import hmac
 import os
 import struct
 from dataclasses import dataclass
+
+import numpy as np
 
 KEY_BYTES = 32
 NONCE_BYTES = 16
@@ -47,13 +51,28 @@ def derive_key(master: bytes, label: str) -> bytes:
     return hmac.new(master, b"derive:" + label.encode(), hashlib.sha256).digest()
 
 
+@functools.lru_cache(maxsize=65536)
+def _subkeys(key: bytes) -> tuple[bytes, bytes]:
+    """The (enc, mac) subkey pair of ``key``, cached.
+
+    A client's RA key is fixed for a deployment while seal/open run
+    once per round: caching the two HMAC derivations takes them off the
+    mega-cohort hot path.  Bounded LRU so 10^6-client runs cannot grow
+    without limit.
+    """
+    return derive_key(key, "enc"), derive_key(key, "mac")
+
+
 def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
-    blocks = []
-    for counter in range((length + 31) // 32):
-        blocks.append(
-            hashlib.sha256(key + nonce + struct.pack(">Q", counter)).digest()
-        )
-    return b"".join(blocks)[:length]
+    return hashlib.shake_256(key + nonce).digest(length)
+
+
+def _xor_bytes(data: bytes, stream: bytes) -> bytes:
+    """XOR two equal-length byte strings (vectorized; order-free op)."""
+    return (
+        np.frombuffer(data, dtype=np.uint8)
+        ^ np.frombuffer(stream, dtype=np.uint8)
+    ).tobytes()
 
 
 @dataclass(frozen=True)
@@ -88,35 +107,83 @@ def seal(key: bytes, plaintext: bytes, nonce: bytes | None = None) -> Ciphertext
         nonce = os.urandom(NONCE_BYTES)
     if len(nonce) != NONCE_BYTES:
         raise ValueError("nonce must be 16 bytes")
-    enc_key = derive_key(key, "enc")
-    mac_key = derive_key(key, "mac")
+    enc_key, mac_key = _subkeys(key)
     stream = _keystream(enc_key, nonce, len(plaintext))
-    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    body = _xor_bytes(plaintext, stream)
     tag = hmac.new(mac_key, nonce + body, hashlib.sha256).digest()
     return Ciphertext(nonce=nonce, body=body, tag=tag)
+
+
+def seal_batch(
+    keys: list[bytes], payloads: list[bytes], nonces: list[bytes]
+) -> list[Ciphertext]:
+    """Seal one contiguous chunk of uploads (mega-cohort client path).
+
+    Per-message AE state (subkeys, keystream, tag) is inherently
+    per-key, so sealing stays a loop -- but one tight loop over a
+    pre-encoded chunk, producing ciphertexts byte-identical to
+    per-client :func:`seal` calls with the same nonces.
+    """
+    if not (len(keys) == len(payloads) == len(nonces)):
+        raise ValueError("keys/payloads/nonces length mismatch")
+    return [
+        seal(key, payload, nonce=nonce)
+        for key, payload, nonce in zip(keys, payloads, nonces)
+    ]
 
 
 def open_sealed(key: bytes, ct: Ciphertext) -> bytes:
     """Verify and decrypt; raises :class:`AuthenticationError` on forgery."""
     if len(key) != KEY_BYTES:
         raise ValueError("key must be 32 bytes")
-    enc_key = derive_key(key, "enc")
-    mac_key = derive_key(key, "mac")
+    enc_key, mac_key = _subkeys(key)
     expected = hmac.new(mac_key, ct.nonce + ct.body, hashlib.sha256).digest()
     if not hmac.compare_digest(expected, ct.tag):
         raise AuthenticationError("tag verification failed")
     stream = _keystream(enc_key, ct.nonce, len(ct.body))
-    return bytes(c ^ s for c, s in zip(ct.body, stream))
+    return _xor_bytes(ct.body, stream)
+
+
+#: Big-endian (u32 index, f64 value) record -- the exact layout
+#: ``struct.pack(">Id", ...)`` produces, so ``tobytes()`` of a filled
+#: array is byte-identical to the per-record loop it replaces.
+_SPARSE_RECORD = np.dtype([("i", ">u4"), ("v", ">f8")])
 
 
 def encode_sparse_gradient(indices, values) -> bytes:
     """Wire format for a sparse gradient: ``k`` records of (u32, f64)."""
     if len(indices) != len(values):
         raise ValueError("indices and values must have equal length")
-    out = [struct.pack(">I", len(indices))]
-    for idx, val in zip(indices, values):
-        out.append(struct.pack(">Id", int(idx), float(val)))
-    return b"".join(out)
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() > 0xFFFFFFFF):
+        raise ValueError("index out of u32 range")
+    records = np.empty(idx.size, dtype=_SPARSE_RECORD)
+    records["i"] = idx
+    records["v"] = np.asarray(values, dtype=np.float64)
+    return struct.pack(">I", idx.size) + records.tobytes()
+
+
+def encode_sparse_gradients_batch(indices, values) -> list[bytes]:
+    """Encode a ``(C, k)`` stack of sparse gradients in one pass.
+
+    One record-array fill and one ``tobytes`` replace C per-client
+    encodings; each returned payload is byte-identical to
+    :func:`encode_sparse_gradient` on the corresponding row.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    val = np.asarray(values, dtype=np.float64)
+    if idx.shape != val.shape or idx.ndim != 2:
+        raise ValueError("indices/values must be equal-shape (C, k) stacks")
+    if idx.size and (idx.min() < 0 or idx.max() > 0xFFFFFFFF):
+        raise ValueError("index out of u32 range")
+    n, k = idx.shape
+    records = np.empty((n, k), dtype=_SPARSE_RECORD)
+    records["i"] = idx
+    records["v"] = val
+    header = struct.pack(">I", k)
+    blob = records.tobytes()
+    stride = k * 12
+    return [header + blob[c * stride : (c + 1) * stride] for c in range(n)]
 
 
 def decode_sparse_gradient(raw: bytes) -> tuple[list[int], list[float]]:

@@ -80,6 +80,11 @@ class Enclave:
     seed:
         Seed for the enclave-private RNG (secure sampling); ``None``
         draws from OS entropy.
+    trace_memmap_dir:
+        When set, back the access trace's columnar storage with
+        disk-backed memmaps in this directory -- traced mega-cohort
+        rounds record hundreds of millions of accesses, more than
+        fits in RAM.  ``None`` (default) keeps the trace in memory.
     """
 
     def __init__(
@@ -88,13 +93,15 @@ class Enclave:
         attestation_service: AttestationService | None = None,
         epc_bytes: int = DEFAULT_EPC_BYTES,
         seed: int | None = None,
+        trace_memmap_dir: str | None = None,
     ) -> None:
         self.code_identity = code_identity
         self.measurement = measure(code_identity)
         self.attestation_service = attestation_service or AttestationService()
         self.epc_bytes = epc_bytes
         self.keystore = KeyStore()
-        self.trace = Trace()
+        self.trace_memmap_dir = trace_memmap_dir
+        self.trace = Trace(memmap_dir=trace_memmap_dir)
         self.layout = RegionLayout()
         self._rng = random.Random(seed)
         self._dh = DiffieHellman(
@@ -148,7 +155,7 @@ class Enclave:
 
     def reset_trace(self) -> None:
         """Start a fresh observation window (new round)."""
-        self.trace = Trace()
+        self.trace = Trace(memmap_dir=self.trace_memmap_dir)
         self.layout = RegionLayout()
         self._allocated_bytes = 0
         self._region_counter = 0

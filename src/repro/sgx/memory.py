@@ -106,15 +106,48 @@ class Trace:
     inputs (Definition 2.2 with delta = 0).
     """
 
-    __slots__ = ("_region_names", "_region_ids", "_rids", "_offs", "_ops", "_n")
+    __slots__ = ("_region_names", "_region_ids", "_rids", "_offs", "_ops",
+                 "_n", "_memmap_dir")
 
-    def __init__(self) -> None:
+    def __init__(self, memmap_dir: str | None = None) -> None:
+        """``memmap_dir`` (opt-in) backs the columns with anonymous
+        disk-backed memmaps in that directory instead of RAM.
+
+        A traced 10^5-client round records hundreds of millions of
+        accesses; memmap backing lets the trace grow past physical
+        memory while every recording/projection API behaves
+        identically (memmaps are ndarrays).  Files are unlinked at
+        creation, so the space is reclaimed when the trace is
+        garbage-collected, superseded by growth, or the process exits.
+        """
         self._region_names: list[str] = []
         self._region_ids: dict[str, int] = {}
-        self._rids = np.empty(_INITIAL_CAPACITY, dtype=np.uint8)
-        self._offs = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
-        self._ops = np.empty(_INITIAL_CAPACITY, dtype=np.uint8)
+        self._memmap_dir = memmap_dir
+        self._rids = self._alloc(_INITIAL_CAPACITY, np.uint8)
+        self._offs = self._alloc(_INITIAL_CAPACITY, np.int32)
+        self._ops = self._alloc(_INITIAL_CAPACITY, np.uint8)
         self._n = 0
+
+    def _alloc(self, length: int, dtype: Any) -> np.ndarray:
+        """An uninitialized column of ``length`` elements.
+
+        RAM by default; an unlinked disk-backed memmap when
+        ``memmap_dir`` was given.
+        """
+        if self._memmap_dir is None:
+            return np.empty(length, dtype=dtype)
+        import os
+        import tempfile
+
+        fd, path = tempfile.mkstemp(prefix="trace-", suffix=".col",
+                                    dir=self._memmap_dir)
+        try:
+            column = np.memmap(path, dtype=dtype, mode="w+",
+                               shape=(max(length, 1),))
+        finally:
+            os.close(fd)
+            os.unlink(path)
+        return column
 
     # ------------------------------------------------------------------
     # Region table
@@ -125,7 +158,9 @@ class Trace:
         if rid is None:
             rid = len(self._region_names)
             if rid > np.iinfo(self._rids.dtype).max:
-                self._rids = self._rids.astype(np.uint16)
+                widened = self._alloc(len(self._rids), np.uint16)
+                widened[: self._n] = self._rids[: self._n]
+                self._rids = widened
             self._region_names.append(region)
             self._region_ids[region] = rid
         return rid
@@ -152,13 +187,15 @@ class Trace:
             new_cap *= 2
         for attr in ("_rids", "_offs", "_ops"):
             old = getattr(self, attr)
-            grown = np.empty(new_cap, dtype=old.dtype)
+            grown = self._alloc(new_cap, old.dtype)
             grown[: self._n] = old[: self._n]
             setattr(self, attr, grown)
 
     def _widen_offsets_if_needed(self, lo: int, hi: int) -> None:
         if self._offs.dtype == np.int32 and (hi > _INT32_MAX or lo < _INT32_MIN):
-            self._offs = self._offs.astype(np.int64)
+            widened = self._alloc(len(self._offs), np.int64)
+            widened[: self._n] = self._offs[: self._n]
+            self._offs = widened
 
     # ------------------------------------------------------------------
     # Recording
