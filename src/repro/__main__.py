@@ -24,7 +24,7 @@ from .fl import (
     build_model,
     partition_clients,
 )
-from .runtime import FaultConfig, RuntimeConfig
+from .runtime import EnclaveFaultConfig, FaultConfig, RuntimeConfig, ShardConfig
 
 logger = logging.getLogger("repro.demo")
 
@@ -59,6 +59,18 @@ def _parse_args(argv: Sequence[str]) -> argparse.Namespace:
         "--dropout-rate", type=float, metavar="P", default=0.0,
         help="inject client dropouts at rate P per (round, client); "
              "the accountant then charges realized cohort sizes",
+    )
+    parser.add_argument(
+        "--shards", type=int, metavar="N", default=None,
+        help="aggregate through N leaf enclaves plus a root enclave "
+             "(sharded multi-enclave service with crash recovery and "
+             "failover) instead of one aggregator enclave",
+    )
+    parser.add_argument(
+        "--leaf-crash-rate", type=float, metavar="P", default=0.0,
+        help="with --shards: crash each leaf attempt with probability "
+             "P; the service recovers from sealed checkpoints and the "
+             "demo reports crashes, failovers, and completion rate",
     )
     parser.add_argument(
         "--seed", type=int, default=0,
@@ -103,14 +115,23 @@ def main(argv: Sequence[str] | None = None) -> None:
         workers=max(1, args.workers),
         faults=FaultConfig(dropout_rate=args.dropout_rate),
     )
+    shards = None
+    if args.shards is not None:
+        shards = ShardConfig(
+            shards=args.shards,
+            faults=EnclaveFaultConfig(leaf_crash_rate=args.leaf_crash_rate),
+        )
     system = OliveSystem(build_model("tiny_mlp", seed=0), clients, config,
-                         seed=args.seed, runtime=runtime)
+                         seed=args.seed, runtime=runtime, shards=shards)
     x, y = gen.balanced(20, np.random.default_rng(1))
     logger.info("  %d clients attested; %d-parameter model",
                 len(clients), system.d)
     logger.info("  cohort runtime: %s executor, %d worker(s), "
                 "dropout rate %.2f", runtime.executor, runtime.workers,
                 args.dropout_rate)
+    if shards is not None:
+        logger.info("  sharded aggregation: %d leaf enclaves, leaf "
+                    "crash rate %.2f", args.shards, args.leaf_crash_rate)
     logger.info("  accuracy before: %.3f", system.evaluate(x, y))
 
     with obs.session(sinks=sinks):
@@ -120,20 +141,36 @@ def main(argv: Sequence[str] | None = None) -> None:
         logger.info("  privacy spent: epsilon = %.2f (delta = %g)",
                     logs[-1].epsilon, config.delta)
 
-        a = system.run_round(traced=True)
-        other = OliveSystem(
-            build_model("tiny_mlp", seed=0),
-            partition_clients(SyntheticClassData(SPECS["tiny"], seed=9),
-                              20, 30, 2, seed=0),
-            config, seed=args.seed, runtime=runtime,
-        )
-        other.run(4)
-        b = other.run_round(traced=True)
-        logger.info("  oblivious aggregation verified: %s (%d recorded "
-                    "accesses)", traces_equal(a.trace, b.trace),
-                    len(a.trace))
-        summary = obs.render_summary(title="telemetry summary (demo run)")
-        other.close()
+        if shards is not None:
+            # Sharded rounds keep the access pattern inside the leaf
+            # enclaves, so report the fault-tolerance story instead of
+            # the root-trace obliviousness check.
+            reports = [lg.shard_report for lg in logs if lg.shard_report]
+            crashes = sum(o.crashes for r in reports for o in r.outcomes)
+            failovers = sum(o.failovers for r in reports
+                            for o in r.outcomes)
+            completion = min(r.completion_rate for r in reports)
+            logger.info("  shard recovery: %d leaf crash(es), %d "
+                        "failover(s), min completion rate %.2f",
+                        crashes, failovers, completion)
+            summary = obs.render_summary(
+                title="telemetry summary (demo run)")
+        else:
+            a = system.run_round(traced=True)
+            other = OliveSystem(
+                build_model("tiny_mlp", seed=0),
+                partition_clients(SyntheticClassData(SPECS["tiny"], seed=9),
+                                  20, 30, 2, seed=0),
+                config, seed=args.seed, runtime=runtime,
+            )
+            other.run(4)
+            b = other.run_round(traced=True)
+            logger.info("  oblivious aggregation verified: %s (%d recorded "
+                        "accesses)", traces_equal(a.trace, b.trace),
+                        len(a.trace))
+            summary = obs.render_summary(
+                title="telemetry summary (demo run)")
+            other.close()
     system.close()
 
     logger.debug("%s", summary)

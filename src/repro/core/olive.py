@@ -37,7 +37,16 @@ from ..dp.adaptive_clipping import AdaptiveClipper
 from ..fl.client import LocalUpdate, TrainingConfig
 from ..fl.datasets import ClientData
 from ..fl.models import Sequential, accuracy
-from ..runtime import STATUS_REJECTED, CohortResult, CohortRuntime, RuntimeConfig
+from ..runtime import (
+    STATUS_REJECTED,
+    CohortResult,
+    CohortRuntime,
+    RuntimeConfig,
+    ShardConfig,
+    ShardedAggregator,
+    ShardRoundReport,
+    record_failure_reason,
+)
 from ..sgx.enclave import Enclave, EnclaveSecurityError, provision_enclave_with_clients
 from ..sgx.memory import Trace
 from .aggregation import AGGREGATORS
@@ -80,6 +89,7 @@ class OliveRoundLog:
     weights_after: np.ndarray
     epsilon: float
     cohort: CohortResult | None = None
+    shard_report: ShardRoundReport | None = None
 
 
 class OliveSystem:
@@ -92,6 +102,7 @@ class OliveSystem:
         config: OliveConfig,
         seed: int = 0,
         runtime: RuntimeConfig | None = None,
+        shards: ShardConfig | None = None,
     ) -> None:
         self.model = model
         self.clients = clients
@@ -119,6 +130,24 @@ class OliveSystem:
             self.runtime_config, copy.deepcopy(model), clients,
             entropy=seed, keys=self.client_keys,
         )
+        # Sharded multi-enclave aggregation: the system's enclave
+        # becomes the *root*; leaf enclaves are spawned (attested, keys
+        # replicated) by the service on first use.
+        self.shard_service: ShardedAggregator | None = None
+        if shards is not None:
+            if config.adaptive_clipping:
+                raise ValueError(
+                    "adaptive clipping needs per-client norms at the "
+                    "root and is not supported with sharded aggregation"
+                )
+            if config.group_size is not None:
+                raise ValueError(
+                    "grouped aggregation is root-level; configure the "
+                    "leaf kernel via ShardConfig.aggregator instead"
+                )
+            self.shard_service = ShardedAggregator(
+                self.enclave, shards, entropy=seed
+            )
 
     @property
     def d(self) -> int:
@@ -165,7 +194,16 @@ class OliveSystem:
         treatment), while the *accountant* charges the realized cohort
         fraction when fault injection is active.
         """
+        if traced and self.shard_service is not None:
+            raise ValueError(
+                "traced rounds are not supported with sharded "
+                "aggregation: the access pattern lives in the leaf "
+                "enclaves, not the root"
+            )
         self.enclave.reset_trace()
+        # Explicit round boundary: reset the replay-defence state even
+        # on paths that skip secure sampling (audits, replays).
+        self.enclave.begin_round()
         weights_before = self.global_weights.copy()
         dropouts = dropouts or set()
 
@@ -193,61 +231,95 @@ class OliveSystem:
                 forced_dropouts=dropouts,
             )
             updates: dict[int, LocalUpdate] = {}
-            for delivery in cohort.deliveries:
-                cid = delivery.client_id
-                assert delivery.ciphertext is not None
-                with obs.span(
-                    "upload", client=cid,
-                    quantized=self.config.quantize_bits is not None,
-                ):
-                    blob = delivery.ciphertext.to_bytes()
-                obs.add("round.upload_bytes", len(blob))
-                try:
-                    with obs.span("decrypt", client=cid):
-                        if self.config.quantize_bits is not None:
-                            indices, values = (
-                                self.enclave.load_quantized_gradient(
+            trace = self.enclave.trace if traced else None
+            shard_report: ShardRoundReport | None = None
+            if self.shard_service is not None:
+                # Hierarchical path: leaf enclaves ingest shards of the
+                # staged deliveries asynchronously (crash recovery,
+                # failover, deadlines inside); the root combines sealed
+                # partials.  Quorum is enforced *inside* the service --
+                # QuorumNotMetError aborts before noise or accounting.
+                shard_report = self.shard_service.aggregate_round(
+                    len(self.history), cohort.deliveries, self.d,
+                    sampled=set(participants),
+                    quantize_bits=self.config.quantize_bits,
+                    min_accepted=self.runtime.quorum_threshold(
+                        len(participants)),
+                )
+                for cid, reason in shard_report.rejected.items():
+                    outcome = cohort.outcomes.get(cid)
+                    if outcome is not None:
+                        outcome.status = STATUS_REJECTED
+                        record_failure_reason(outcome, reason)
+                accepted = list(shard_report.accepted_clients)
+                aggregate = shard_report.aggregate
+                obs.add("round.clients_dropped",
+                        len(participants) - len(accepted))
+                self.runtime.check_quorum(len(accepted),
+                                          len(participants))
+            else:
+                for delivery in cohort.deliveries:
+                    cid = delivery.client_id
+                    assert delivery.ciphertext is not None
+                    with obs.span(
+                        "upload", client=cid,
+                        quantized=self.config.quantize_bits is not None,
+                    ):
+                        blob = delivery.ciphertext.to_bytes()
+                    obs.add("round.upload_bytes", len(blob))
+                    try:
+                        with obs.span("decrypt", client=cid):
+                            if self.config.quantize_bits is not None:
+                                indices, values = (
+                                    self.enclave.load_quantized_gradient(
+                                        cid, delivery.ciphertext
+                                    )
+                                )
+                            else:
+                                indices, values = self.enclave.load_gradient(
                                     cid, delivery.ciphertext
                                 )
-                            )
-                        else:
-                            indices, values = self.enclave.load_gradient(
-                                cid, delivery.ciphertext
-                            )
-                except EnclaveSecurityError:
-                    # Corrupt or replayed upload: the enclave refused
-                    # it.  Only the *extra* copy of a replay is lost;
-                    # a tampered original costs the client its round.
-                    if not delivery.duplicate:
-                        cohort.outcomes[cid].status = STATUS_REJECTED
-                        updates.pop(cid, None)
-                    continue
-                updates[cid] = LocalUpdate(
-                    client_id=cid,
-                    indices=np.asarray(indices, dtype=np.int64),
-                    values=np.asarray(values, dtype=np.float64),
-                )
-            obs.add("round.clients_dropped",
-                    len(participants) - len(updates))
+                    except EnclaveSecurityError as exc:
+                        # Corrupt or replayed upload: the enclave
+                        # refused it.  Only the *extra* copy of a
+                        # replay is lost; a tampered original costs the
+                        # client its round.
+                        if not delivery.duplicate:
+                            cohort.outcomes[cid].status = STATUS_REJECTED
+                            record_failure_reason(cohort.outcomes[cid],
+                                                  exc.reason)
+                            updates.pop(cid, None)
+                        continue
+                    updates[cid] = LocalUpdate(
+                        client_id=cid,
+                        indices=np.asarray(indices, dtype=np.int64),
+                        values=np.asarray(values, dtype=np.float64),
+                    )
+                accepted = sorted(updates)
+                obs.add("round.clients_dropped",
+                        len(participants) - len(accepted))
 
-            # Completion policy: abort before anything leaves the
-            # enclave if too few clients survived.
-            self.runtime.check_quorum(len(updates), len(participants))
+                # Completion policy: abort before anything leaves the
+                # enclave if too few clients survived.
+                self.runtime.check_quorum(len(accepted),
+                                          len(participants))
 
-            # Line 12: oblivious aggregation + enclave-private perturbation.
-            trace = self.enclave.trace if traced else None
-            trace_before = len(trace) if trace is not None else 0
-            with obs.span("aggregate", aggregator=self.config.aggregator,
-                          n_updates=len(updates)):
-                if updates:
-                    aggregate = self._aggregate(list(updates.values()), trace)
-                else:
-                    aggregate = np.zeros(self.d)
-            if trace is not None:
-                obs.add("trace.accesses_recorded",
-                        len(trace) - trace_before)
-                obs.gauge("trace.accesses", len(trace))
-                obs.gauge("trace.nbytes", trace.nbytes)
+                # Line 12: oblivious aggregation + enclave-private
+                # perturbation.
+                trace_before = len(trace) if trace is not None else 0
+                with obs.span("aggregate",
+                              aggregator=self.config.aggregator,
+                              n_updates=len(updates)):
+                    if updates:
+                        aggregate = self._aggregate(
+                            list(updates.values()), trace)
+                    else:
+                        aggregate = np.zeros(self.d)
+                if trace is not None:
+                    obs.add("trace.accesses_recorded",
+                            len(trace) - trace_before)
+                    obs.gauge("trace.accesses", len(trace))
+                    obs.gauge("trace.nbytes", trace.nbytes)
             sigma = self.config.noise_multiplier * clip
             with obs.span("noise", sigma=sigma):
                 noise = np.asarray(self.enclave.gauss_vector(sigma, self.d))
@@ -264,7 +336,7 @@ class OliveSystem:
             with obs.span("accountant"):
                 if self.runtime_config.use_realized_accounting():
                     self.accountant.step_realized(
-                        len(updates) / max(1, len(self.clients))
+                        len(accepted) / max(1, len(self.clients))
                     )
                 else:
                     self.accountant.step()
@@ -283,13 +355,14 @@ class OliveSystem:
 
         log = OliveRoundLog(
             round_index=len(self.history),
-            participants=sorted(updates),
+            participants=sorted(accepted),
             updates=updates,
             trace=trace,
             weights_before=weights_before,
             weights_after=self.global_weights.copy(),
             epsilon=self.accountant.epsilon,
             cohort=cohort,
+            shard_report=shard_report,
         )
         self.history.append(log)
         return log

@@ -22,6 +22,11 @@ Typical use::
 """
 
 from .cohort import (
+    REASON_DROPOUT,
+    REASON_FORCED,
+    REASON_STRAGGLER,
+    REASON_TIMEOUT,
+    REASON_TRANSIENT,
     STATUS_DROPPED,
     STATUS_FAILED,
     STATUS_OK,
@@ -31,11 +36,20 @@ from .cohort import (
     CohortResult,
     CohortRuntime,
     Delivery,
+    record_failure_reason,
     run_train_tasks,
 )
 from .config import QuorumNotMetError, RuntimeConfig
 from .executors import EXECUTORS, make_executor
-from .faults import ClientFaultPlan, FaultConfig, FaultInjector
+from .faults import (
+    ClientFaultPlan,
+    EnclaveFaultConfig,
+    EnclaveFaultInjector,
+    FaultConfig,
+    FaultInjector,
+    LeafFaultPlan,
+    RootFaultPlan,
+)
 from .jobs import (
     ClientJob,
     ClientJobResult,
@@ -47,6 +61,7 @@ from .jobs import (
     execute_train_task,
 )
 from .seeding import (
+    STREAM_ENCLAVE,
     STREAM_FAULT,
     STREAM_MODEL,
     STREAM_NONCE,
@@ -60,13 +75,29 @@ from .seeding import (
     seed_sequence,
 )
 
+# Imported last: repro.core (pulled in transitively by shard leaves'
+# oblivious kernels) imports the names bound above from this package.
+from .shards import (  # noqa: E402
+    ShardConfig,
+    ShardedAggregator,
+    ShardOutcome,
+    ShardRoundReport,
+    plan_shards,
+)
+
 __all__ = [
     "EXECUTORS",
+    "REASON_DROPOUT",
+    "REASON_FORCED",
+    "REASON_STRAGGLER",
+    "REASON_TIMEOUT",
+    "REASON_TRANSIENT",
     "STATUS_DROPPED",
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_REJECTED",
     "STATUS_STRAGGLER",
+    "STREAM_ENCLAVE",
     "STREAM_FAULT",
     "STREAM_MODEL",
     "STREAM_NONCE",
@@ -79,10 +110,18 @@ __all__ = [
     "CohortResult",
     "CohortRuntime",
     "Delivery",
+    "EnclaveFaultConfig",
+    "EnclaveFaultInjector",
     "FaultConfig",
     "FaultInjector",
+    "LeafFaultPlan",
     "QuorumNotMetError",
+    "RootFaultPlan",
     "RuntimeConfig",
+    "ShardConfig",
+    "ShardOutcome",
+    "ShardRoundReport",
+    "ShardedAggregator",
     "TrainTask",
     "TransientWorkerError",
     "WorkerContext",
@@ -94,6 +133,8 @@ __all__ = [
     "execute_client_jobs_batch",
     "execute_train_task",
     "make_executor",
+    "plan_shards",
+    "record_failure_reason",
     "reseed_model",
     "run_train_tasks",
     "seed_sequence",

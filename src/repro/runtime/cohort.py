@@ -46,6 +46,27 @@ STATUS_STRAGGLER = "straggler"          # injected delay beyond the timeout
 STATUS_FAILED = "failed"                # retries exhausted / timed out
 STATUS_REJECTED = "rejected"            # enclave refused the ciphertext
 
+#: Failure *reasons*: why a non-ok status happened, one level finer
+#: than the status (a STATUS_FAILED client timed out or kept failing
+#: transiently; a STATUS_REJECTED upload was corrupt, replayed, or from
+#: an unsampled client -- the enclave's ``EnclaveSecurityError.reason``
+#: is recorded verbatim for rejects).
+REASON_DROPOUT = "dropout"              # fault-injected dropout
+REASON_FORCED = "forced"                # caller-forced dropout
+REASON_STRAGGLER = "straggler"          # injected delay beyond the timeout
+REASON_TIMEOUT = "timeout"              # wall-clock attempt timeout
+REASON_TRANSIENT = "transient"          # transient worker failures
+
+
+def record_failure_reason(outcome: "ClientOutcome", reason: str) -> None:
+    """Attach a failure reason to one outcome and count it.
+
+    Counters land under ``runtime.failure_reason.<reason>`` so a sweep
+    can read off *why* clients were lost, not just how many.
+    """
+    outcome.reason = reason
+    obs.add(f"runtime.failure_reason.{reason}")
+
 
 @dataclass
 class ClientOutcome:
@@ -58,6 +79,7 @@ class ClientOutcome:
     latency_s: float = 0.0
     plan: ClientFaultPlan | None = None
     result: ClientJobResult | None = None
+    reason: str | None = None           # why, when status != ok
 
 
 @dataclass(frozen=True)
@@ -91,6 +113,15 @@ class CohortResult:
         """Clients whose jobs finished (pre-enclave-verification)."""
         return [cid for cid, o in sorted(self.outcomes.items())
                 if o.status == STATUS_OK]
+
+    @property
+    def failure_reasons(self) -> dict[str, int]:
+        """Histogram of failure reasons across non-ok outcomes."""
+        hist: dict[str, int] = {}
+        for o in self.outcomes.values():
+            if o.reason is not None:
+                hist[o.reason] = hist.get(o.reason, 0) + 1
+        return dict(sorted(hist.items()))
 
 
 def _tamper(ciphertext: Ciphertext) -> Ciphertext:
@@ -183,6 +214,9 @@ class CohortRuntime:
             plan = self.injector.plan(round_index, cid)
             if cid in forced or plan.dropped:
                 outcomes[cid] = ClientOutcome(cid, STATUS_DROPPED, plan=plan)
+                record_failure_reason(
+                    outcomes[cid],
+                    REASON_FORCED if cid in forced else REASON_DROPOUT)
                 obs.add("runtime.dropouts")
                 continue
             if (cfg.client_timeout_s is not None
@@ -193,6 +227,7 @@ class CohortRuntime:
                 outcomes[cid] = ClientOutcome(cid, STATUS_STRAGGLER,
                                               plan=plan,
                                               latency_s=plan.delay_s)
+                record_failure_reason(outcomes[cid], REASON_STRAGGLER)
                 obs.add("runtime.stragglers_dropped")
                 continue
             job = ClientJob(
@@ -250,7 +285,8 @@ class CohortRuntime:
                                      retries=retries, latency_s=latency,
                                      plan=plan, result=res)
             except (TransientWorkerError, FutureTimeoutError) as exc:
-                if isinstance(exc, FutureTimeoutError):
+                timed_out = isinstance(exc, FutureTimeoutError)
+                if timed_out:
                     obs.add("runtime.timeouts")
                     future.cancel()
                 else:
@@ -258,10 +294,14 @@ class CohortRuntime:
                 if attempt >= cfg.max_retries:
                     obs.add("runtime.failures")
                     latency = time.perf_counter() - t0
-                    return ClientOutcome(cid, STATUS_FAILED,
-                                         attempts=attempt + 1,
-                                         retries=retries, latency_s=latency,
-                                         plan=plan)
+                    outcome = ClientOutcome(cid, STATUS_FAILED,
+                                            attempts=attempt + 1,
+                                            retries=retries,
+                                            latency_s=latency, plan=plan)
+                    record_failure_reason(
+                        outcome,
+                        REASON_TIMEOUT if timed_out else REASON_TRANSIENT)
+                    return outcome
                 backoff = min(cfg.backoff_base_s * (2.0 ** attempt),
                               cfg.backoff_cap_s)
                 if backoff > 0:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .seeding import STREAM_FAULT, derive_rng
+from .seeding import STREAM_ENCLAVE, STREAM_FAULT, derive_rng
 
 
 @dataclass(frozen=True)
@@ -117,3 +117,137 @@ class FaultInjector:
             dropped=dropped, delay_s=delay, corrupt=corrupt,
             replay=replay, fail_attempts=fail_attempts,
         )
+
+
+# ----------------------------------------------------------------------
+# Server-side (enclave) faults: the sharded aggregation service
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnclaveFaultConfig:
+    """Fault rates for the aggregation service's own enclaves.
+
+    The server-side counterpart of :class:`FaultConfig`: where client
+    faults only ever *exclude* contributions, enclave faults attack the
+    aggregation topology itself -- a leaf crashing mid-shard, a leaf
+    machine dying outright (forcing failover to a sibling), a straggler
+    leaf blowing its shard deadline, and the root enclave restarting
+    between partial-aggregate combines.
+
+    * ``leaf_crash_rate`` -- per ``(round, shard, attempt)``: the
+      executing leaf crashes partway through its shard, losing all
+      volatile state back to its last sealed checkpoint;
+    * ``crash_fatal_rate`` -- a crash is fatal for the leaf *machine*
+      (restart impossible; the shard fails over to a surviving leaf)
+      rather than a process crash (restart in place);
+    * ``leaf_straggler_rate`` / ``leaf_straggler_delay_s`` -- the
+      attempt is delayed; delays are adjudicated against the per-shard
+      deadline *analytically* so decisions replay deterministically;
+    * ``root_restart_rate`` -- per round: the root enclave restarts
+      partway through combining sealed partials and recovers from its
+      own checkpoint.
+    """
+
+    leaf_crash_rate: float = 0.0
+    crash_fatal_rate: float = 0.5
+    leaf_straggler_rate: float = 0.0
+    leaf_straggler_delay_s: float = 0.05   # mean injected delay
+    leaf_straggler_jitter: bool = True
+    root_restart_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("leaf_crash_rate", "crash_fatal_rate",
+                     "leaf_straggler_rate", "root_restart_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.leaf_straggler_delay_s < 0:
+            raise ValueError("leaf_straggler_delay_s must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """True when any enclave fault mode has a non-zero rate."""
+        return any((self.leaf_crash_rate, self.leaf_straggler_rate,
+                    self.root_restart_rate))
+
+
+@dataclass(frozen=True)
+class LeafFaultPlan:
+    """Faults one ``(round, shard, attempt)`` execution experiences.
+
+    ``crash_fraction`` positions the crash within the attempt's
+    *remaining* work (the deliveries past the resume point), so a
+    recovered attempt that crashes again still makes the progress its
+    checkpoints sealed.
+    """
+
+    crash_fraction: float | None = None   # None: no crash this attempt
+    fatal: bool = False                   # crash kills the leaf machine
+    delay_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True when this attempt runs fault-free."""
+        return self.crash_fraction is None and self.delay_s == 0.0
+
+
+@dataclass(frozen=True)
+class RootFaultPlan:
+    """The root enclave's faults for one round."""
+
+    restart_fraction: float | None = None  # None: no restart this round
+
+
+CLEAN_LEAF_PLAN = LeafFaultPlan()
+CLEAN_ROOT_PLAN = RootFaultPlan()
+
+
+class EnclaveFaultInjector:
+    """Deterministic server-side fault plans on ``STREAM_ENCLAVE``.
+
+    Leaf plans are keyed by ``(round, shard, attempt)`` -- the
+    *shard*, not the executing leaf, so a failed-over shard draws the
+    same fault sequence whichever sibling picks it up, and a replay of
+    the same seed and config reproduces every crash, failover, and
+    deadline miss bit-for-bit.  The draw order inside each plan is
+    fixed (crash, fraction, fatal, straggler, delay).
+    """
+
+    #: Root plans use this shard slot (shard indices are < this).
+    ROOT_KEY = 0xFFFF_FFFF
+
+    def __init__(self, config: EnclaveFaultConfig, entropy: int) -> None:
+        self.config = config
+        self.entropy = int(entropy)
+
+    def leaf_plan(self, round_index: int, shard_index: int,
+                  attempt: int) -> LeafFaultPlan:
+        """The fault plan for one execution attempt of one shard."""
+        cfg = self.config
+        if not cfg.active:
+            return CLEAN_LEAF_PLAN
+        rng = derive_rng(self.entropy, STREAM_ENCLAVE, round_index,
+                         shard_index, attempt)
+        crash = rng.random() < cfg.leaf_crash_rate
+        crash_fraction = float(rng.random()) if crash else None
+        fatal = crash and rng.random() < cfg.crash_fatal_rate
+        straggler = rng.random() < cfg.leaf_straggler_rate
+        delay = 0.0
+        if straggler:
+            delay = (float(rng.exponential(cfg.leaf_straggler_delay_s))
+                     if cfg.leaf_straggler_jitter
+                     else cfg.leaf_straggler_delay_s)
+        return LeafFaultPlan(crash_fraction=crash_fraction, fatal=fatal,
+                             delay_s=delay)
+
+    def root_plan(self, round_index: int) -> RootFaultPlan:
+        """The root enclave's restart plan for one round."""
+        cfg = self.config
+        if cfg.root_restart_rate == 0.0:
+            return CLEAN_ROOT_PLAN
+        rng = derive_rng(self.entropy, STREAM_ENCLAVE, round_index,
+                         self.ROOT_KEY, 0)
+        if rng.random() < cfg.root_restart_rate:
+            return RootFaultPlan(restart_fraction=float(rng.random()))
+        return CLEAN_ROOT_PLAN

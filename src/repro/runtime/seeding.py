@@ -30,6 +30,7 @@ STREAM_MODEL = 1    # dropout-layer masks (one sub-stream per layer)
 STREAM_FAULT = 2    # fault-injector coin flips and delay draws
 STREAM_NONCE = 3    # per-(round, client) encryption nonce
 STREAM_TEACHER = 4  # attack teacher replay (round, label, shard)
+STREAM_ENCLAVE = 5  # server-side enclave faults (round, shard, attempt)
 
 
 def seed_sequence(entropy: int, stream: int, *key: int) -> np.random.SeedSequence:

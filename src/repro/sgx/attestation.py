@@ -64,8 +64,30 @@ class AttestationService:
     is preserved.
     """
 
-    def __init__(self, signing_key: bytes | None = None) -> None:
+    def __init__(
+        self,
+        signing_key: bytes | None = None,
+        platform_secret: bytes | None = None,
+    ) -> None:
         self._signing_key = signing_key or os.urandom(32)
+        # Stand-in for the per-platform root sealing secret the SGX
+        # hardware derives sealing keys from: enclaves with the same
+        # measurement on the same platform obtain the same sealing key,
+        # which is exactly what lets a restarted (or failed-over)
+        # enclave unseal a crashed sibling's checkpoint.
+        self._platform_secret = platform_secret or os.urandom(32)
+
+    def sealing_key(self, measurement: bytes) -> bytes:
+        """MRENCLAVE-policy sealing key for ``measurement``.
+
+        Bound to (platform, measurement) as the SGX ``EGETKEY``
+        sealing-key derivation is: a different enclave binary (or a
+        different platform) derives a different key and cannot unseal
+        state checkpoints.
+        """
+        return hmac.new(
+            self._platform_secret, b"seal:" + measurement, hashlib.sha256
+        ).digest()
 
     def sign_quote(self, measurement: bytes, dh_public: int) -> Quote:
         """Sign an attestation report for an enclave."""

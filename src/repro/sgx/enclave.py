@@ -24,8 +24,11 @@ from __future__ import annotations
 
 import hashlib
 import random
+import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from .. import obs
 from . import crypto
@@ -34,9 +37,23 @@ from .memory import RegionLayout, Trace, TracedArray
 
 DEFAULT_EPC_BYTES = 96 * 1024 * 1024
 
+#: Version tag of the sealed round-state checkpoint wire format.
+CHECKPOINT_MAGIC = b"OLVCKPT1"
+
 
 class EnclaveSecurityError(Exception):
-    """A protocol violation detected inside the enclave (abort round)."""
+    """A protocol violation detected inside the enclave (abort round).
+
+    ``reason`` is a stable machine-readable label (``"unsampled"``,
+    ``"duplicate"``, ``"replay"``, ``"corrupt"``, ``"checkpoint"``,
+    ``"attestation"``) so callers -- the cohort runtime's failure-reason
+    accounting and the shard coordinator's dedup-vs-reject decisions --
+    can adjudicate without parsing the message.
+    """
+
+    def __init__(self, message: str, *, reason: str = "security") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 @dataclass
@@ -128,6 +145,44 @@ class Enclave:
         key = self._dh.shared_key(client_dh_public)
         self.keystore.put(client_id, key)
 
+    def attest_peer(self, quote: Quote) -> bytes:
+        """Mutually attest a *peer enclave* and derive a channel key.
+
+        The sharded aggregation service runs leaf and root enclaves of
+        the same binary; before sealed partial aggregates (or replicated
+        keystore entries) cross between them, each side verifies the
+        other's quote against its **own** measurement -- only an enclave
+        running identical code is trusted -- and derives the shared DH
+        key for the leaf<->root channel.  Raises
+        :class:`EnclaveSecurityError` on a forged quote or a
+        measurement mismatch.
+        """
+        if not self.attestation_service.verify_quote(quote):
+            obs.add("enclave.peer_attestations_failed")
+            raise EnclaveSecurityError(
+                "peer quote signature invalid", reason="attestation"
+            )
+        if quote.measurement != self.measurement:
+            obs.add("enclave.peer_attestations_failed")
+            raise EnclaveSecurityError(
+                "peer enclave measurement mismatch", reason="attestation"
+            )
+        obs.add("enclave.peer_attestations")
+        return self._dh.shared_key(quote.dh_public)
+
+    def replicate_keys_to(self, peer: "Enclave") -> None:
+        """Migrate the sealed keystore to an attested sibling enclave.
+
+        Models SGX sealed-key migration: the transfer is only permitted
+        after mutual attestation succeeds (identical measurement on the
+        shared platform), which is what lets every leaf enclave decrypt
+        any client's upload -- the property shard failover depends on.
+        """
+        self.attest_peer(peer.quote())
+        peer.attest_peer(self.quote())
+        for cid, key in self.keystore._keys.items():
+            peer.keystore.put(cid, key)
+
     # ------------------------------------------------------------------
     # Memory management
     # ------------------------------------------------------------------
@@ -163,6 +218,26 @@ class Enclave:
     # ------------------------------------------------------------------
     # Secure sampling and client verification (Algorithm 1, lines 4-11)
     # ------------------------------------------------------------------
+    def begin_round(self, sampled: Iterable[int] | None = None) -> None:
+        """Reset the per-round replay-defence state explicitly.
+
+        Round drivers call this at the top of every round.  Secure
+        sampling does it implicitly, but replay- or audit-driven rounds
+        (and shard leaves, whose sampled set arrives from the root over
+        the attested channel instead of being drawn locally) skip
+        resampling -- without an explicit reset they would inherit the
+        previous round's accepted-digest set and wrongly reject honest
+        re-contributions.
+
+        ``sampled``, when given, installs the round's participant set
+        (the leaf-enclave case); ``None`` leaves the current set alone.
+        """
+        self._loaded_clients = set()
+        self._seen_digests = set()
+        if sampled is not None:
+            self._sampled = {int(cid) for cid in sampled}
+        obs.add("enclave.rounds_begun")
+
     def sample_clients(self, population: Sequence[int], rate: float) -> list[int]:
         """Poisson-sample the round's participants inside the enclave."""
         if not 0.0 < rate <= 1.0:
@@ -172,9 +247,7 @@ class Enclave:
             if not sampled:
                 # Guarantee progress on tiny populations: resample one.
                 sampled = [population[self._rng.randrange(len(population))]]
-            self._sampled = set(sampled)
-            self._loaded_clients = set()
-            self._seen_digests = set()
+            self.begin_round(sampled=sampled)
         return sampled
 
     @property
@@ -194,20 +267,22 @@ class Enclave:
         if client_id not in self._sampled:
             obs.add("enclave.gradients_rejected")
             raise EnclaveSecurityError(
-                f"client {client_id} was not securely sampled this round"
+                f"client {client_id} was not securely sampled this round",
+                reason="unsampled",
             )
         digest = hashlib.sha256(ciphertext.to_bytes()).digest()
         if client_id in self._loaded_clients:
             obs.add("enclave.gradients_rejected")
             obs.add("runtime.rejected")
             raise EnclaveSecurityError(
-                f"client {client_id} already contributed this round"
+                f"client {client_id} already contributed this round",
+                reason="duplicate",
             )
         if digest in self._seen_digests:
             obs.add("enclave.gradients_rejected")
             obs.add("runtime.rejected")
             raise EnclaveSecurityError(
-                f"client {client_id}: replayed ciphertext"
+                f"client {client_id}: replayed ciphertext", reason="replay"
             )
         return digest
 
@@ -215,6 +290,140 @@ class Enclave:
         """Mark an upload accepted (only after successful decryption)."""
         self._loaded_clients.add(client_id)
         self._seen_digests.add(digest)
+
+    # ------------------------------------------------------------------
+    # Partial-aggregate combination (root enclave of the sharded service)
+    # ------------------------------------------------------------------
+    def has_digest(self, digest: bytes) -> bool:
+        """True when ``digest`` was already accepted this round."""
+        return digest in self._seen_digests
+
+    def record_partial(self, digest: bytes, client_ids: Iterable[int]) -> None:
+        """Accept one shard's sealed partial aggregate into this round.
+
+        The cross-shard double-count defence of the root enclave: a
+        partial whose digest was already combined is a replay, and a
+        partial covering a client another shard already accounted for
+        would double that client's weight.  Both raise
+        :class:`EnclaveSecurityError`; the coordinator treats the
+        replay case as "already combined" when resuming after a root
+        restart.
+        """
+        ids = {int(cid) for cid in client_ids}
+        if digest in self._seen_digests:
+            obs.add("enclave.partials_rejected")
+            raise EnclaveSecurityError(
+                "partial aggregate already combined this round",
+                reason="replay",
+            )
+        overlap = self._loaded_clients.intersection(ids)
+        if overlap:
+            obs.add("enclave.partials_rejected")
+            raise EnclaveSecurityError(
+                f"clients {sorted(overlap)[:4]} appear in multiple shard "
+                "partials", reason="duplicate",
+            )
+        self._seen_digests.add(digest)
+        self._loaded_clients.update(ids)
+        obs.add("enclave.partials_combined")
+
+    # ------------------------------------------------------------------
+    # Sealed round-state checkpoints (crash recovery / shard failover)
+    # ------------------------------------------------------------------
+    def _sealing_key(self) -> bytes:
+        """The MRENCLAVE-policy sealing key of this enclave binary."""
+        return self.attestation_service.sealing_key(self.measurement)
+
+    def export_round_state(
+        self, round_index: int = 0, partial: np.ndarray | None = None
+    ) -> crypto.Ciphertext:
+        """Seal the round's recovery state for crash/failover restart.
+
+        The checkpoint captures everything a restarted (or failed-over)
+        enclave needs to resume mid-round without double-counting or
+        losing accepted uploads: the sampled set, the accepted-client
+        set, the accepted-ciphertext digest set, and -- for aggregating
+        enclaves -- the partial aggregate.  It is sealed under the
+        platform's MRENCLAVE sealing key, so only an enclave running
+        the identical binary on the same platform can restore it; the
+        untrusted host that stores checkpoints between crashes sees
+        only ciphertext.
+        """
+        with obs.span("ecall.export_state", round=round_index):
+            parts = [CHECKPOINT_MAGIC, struct.pack(">I", int(round_index))]
+            for ids in (sorted(self._sampled), sorted(self._loaded_clients)):
+                parts.append(struct.pack(">I", len(ids)))
+                parts.append(np.asarray(ids, dtype=">u8").tobytes())
+            digests = sorted(self._seen_digests)
+            parts.append(struct.pack(">I", len(digests)))
+            parts.extend(digests)
+            if partial is None:
+                parts.append(struct.pack(">BI", 0, 0))
+            else:
+                arr = np.ascontiguousarray(partial, dtype=np.float64)
+                parts.append(struct.pack(">BI", 1, arr.size))
+                parts.append(arr.tobytes())
+            payload = b"".join(parts)
+            # Deterministic SIV-style nonce: a function of the sealed
+            # state itself, so checkpoint bytes (and therefore whole
+            # recovered rounds) replay bit-identically.
+            nonce = hashlib.sha256(b"ckpt-nonce:" + payload).digest()[:16]
+            ciphertext = crypto.seal(self._sealing_key(), payload, nonce=nonce)
+            obs.add("enclave.checkpoints_exported")
+            obs.add("enclave.checkpoint_bytes", len(ciphertext.to_bytes()))
+            return ciphertext
+
+    def restore_round_state(
+        self, checkpoint: crypto.Ciphertext
+    ) -> tuple[int, np.ndarray | None]:
+        """Restore sealed round state; returns ``(round, partial)``.
+
+        Only a checkpoint sealed by an enclave with the same
+        measurement on the same platform unseals; anything else --
+        tampered bytes, a different binary, a different platform --
+        raises :class:`EnclaveSecurityError` (``reason="checkpoint"``).
+        """
+        with obs.span("ecall.restore_state"):
+            try:
+                payload = crypto.open_sealed(self._sealing_key(), checkpoint)
+            except crypto.AuthenticationError as exc:
+                obs.add("enclave.checkpoints_rejected")
+                raise EnclaveSecurityError(
+                    "checkpoint failed unsealing (tampered, wrong "
+                    "measurement, or wrong platform)", reason="checkpoint"
+                ) from exc
+            if payload[:8] != CHECKPOINT_MAGIC:
+                obs.add("enclave.checkpoints_rejected")
+                raise EnclaveSecurityError(
+                    "unrecognized checkpoint format", reason="checkpoint"
+                )
+            off = len(CHECKPOINT_MAGIC)
+            (round_index,) = struct.unpack_from(">I", payload, off)
+            off += 4
+            id_sets: list[set[int]] = []
+            for _ in range(2):
+                (count,) = struct.unpack_from(">I", payload, off)
+                off += 4
+                ids = np.frombuffer(payload, dtype=">u8", count=count,
+                                    offset=off)
+                off += 8 * count
+                id_sets.append({int(v) for v in ids})
+            (count,) = struct.unpack_from(">I", payload, off)
+            off += 4
+            digests = {payload[off + 32 * i: off + 32 * (i + 1)]
+                       for i in range(count)}
+            off += 32 * count
+            has_partial, size = struct.unpack_from(">BI", payload, off)
+            off += 5
+            partial = None
+            if has_partial:
+                partial = np.frombuffer(
+                    payload, dtype=np.float64, count=size, offset=off
+                ).copy()
+            self._sampled, self._loaded_clients = id_sets
+            self._seen_digests = digests
+            obs.add("enclave.checkpoints_restored")
+            return int(round_index), partial
 
     def load_gradient(
         self, client_id: int, ciphertext: crypto.Ciphertext
@@ -233,7 +442,8 @@ class Enclave:
             except crypto.AuthenticationError as exc:
                 obs.add("enclave.gradients_rejected")
                 raise EnclaveSecurityError(
-                    f"client {client_id}: gradient failed authentication"
+                    f"client {client_id}: gradient failed authentication",
+                    reason="corrupt",
                 ) from exc
             self._record_upload(client_id, digest)
             obs.add("enclave.gradients_loaded")
@@ -252,7 +462,8 @@ class Enclave:
             except crypto.AuthenticationError as exc:
                 obs.add("enclave.gradients_rejected")
                 raise EnclaveSecurityError(
-                    f"client {client_id}: gradient failed authentication"
+                    f"client {client_id}: gradient failed authentication",
+                    reason="corrupt",
                 ) from exc
             self._record_upload(client_id, digest)
             obs.add("enclave.gradients_loaded")
