@@ -24,6 +24,18 @@ enforced on the matching key of the bench's payload (e.g.
 ``min_replay_speedup`` gates ``replay_speedup`` in ``fig11.json``),
 letting the gate also catch *model-level* perf regressions that wall
 clock alone would hide behind runner noise.
+
+Two telemetry-aware extensions ride on the flight-recorder layer:
+
+* a bench entry may carry an ``"obs"`` block of histogram ceilings,
+  e.g. ``{"ecall.wall_s": {"max_p95": 0.05}}`` -- enforced against the
+  last ``hist`` snapshot in the bench's archived
+  ``<name>_telemetry.json`` stream (recorded under ``BENCH_TELEMETRY=1``),
+  so a latency-distribution regression in one phase fails the gate even
+  when total wall clock hides it;
+* ``--diff BASE CURRENT`` compares two telemetry archives through
+  :mod:`repro.obs.diffing` and reports per-span-path and per-histogram
+  deltas -- *which phase* regressed, not just that something did.
 """
 
 from __future__ import annotations
@@ -36,6 +48,57 @@ from pathlib import Path
 DEFAULT_TOLERANCE = 1.5
 DEFAULT_GRACE_SECONDS = 1.0
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+def read_hist_snapshots(path: Path) -> dict[str, dict]:
+    """Last ``hist`` snapshot per name from a telemetry JSONL archive.
+
+    Parsed inline (no repro import -- CI runs this script without the
+    package on ``sys.path``); torn final lines are tolerated.
+    """
+    hists: dict[str, dict] = {}
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(event, dict) and event.get("type") == "hist":
+            hists[event["name"]] = event
+    return hists
+
+
+def check_obs_ceilings(
+    name: str, ceilings: dict, results_dir: Path
+) -> list[str]:
+    """Failures from one bench's telemetry-histogram ceilings."""
+    tele_path = results_dir / f"{name}_telemetry.json"
+    if not tele_path.exists():
+        return [f"obs ceilings set but {tele_path.name} missing "
+                f"(bench not run with BENCH_TELEMETRY=1?)"]
+    hists = read_hist_snapshots(tele_path)
+    failures = []
+    for hist_name, limits in sorted(ceilings.items()):
+        snapshot = hists.get(hist_name)
+        if snapshot is None:
+            failures.append(f"histogram {hist_name!r} missing from "
+                            f"{tele_path.name}")
+            continue
+        for key, ceiling in sorted(limits.items()):
+            if not key.startswith("max_"):
+                continue
+            field = key[len("max_"):]
+            value = snapshot.get(field)
+            if value is None:
+                failures.append(
+                    f"{hist_name} field {field!r} missing from snapshot")
+            elif float(value) > float(ceiling):
+                failures.append(
+                    f"{hist_name} {field} {float(value):.6f}s above "
+                    f"ceiling {float(ceiling):.6f}s")
+    return failures
 
 
 def compare(
@@ -78,6 +141,10 @@ def compare(
                 failures.append(f"metric {metric!r} missing from payload")
             elif value < floor:
                 failures.append(f"{metric} {value} below floor {floor}")
+        obs_ceilings = ref.get("obs")
+        if obs_ceilings:
+            failures.extend(
+                check_obs_ceilings(name, obs_ceilings, results_dir))
         if failures:
             row.update(status="fail", detail="; ".join(failures))
             ok = False
@@ -87,10 +154,38 @@ def compare(
     return rows, ok
 
 
+def run_diff(base: Path, cur: Path, tolerance: float, grace: float) -> int:
+    """Compare two telemetry archives phase-by-phase; 1 on regression."""
+    try:
+        from repro.obs import diffing
+    except ImportError:
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.obs import diffing
+
+    path_deltas, hist_deltas = diffing.diff_runs(base, cur)
+    print(diffing.render_diff(path_deltas, hist_deltas,
+                              tolerance=tolerance, grace_s=grace))
+    bad = (diffing.regressed_paths(path_deltas, tolerance, grace)
+           + diffing.regressed_hists(hist_deltas, tolerance, grace))
+    if bad:
+        print(f"telemetry diff: FAIL ({len(bad)} regressed row(s), "
+              f"tolerance {tolerance}x, grace {grace}s)")
+        return 1
+    print(f"telemetry diff: PASS (tolerance {tolerance}x, grace {grace}s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline", type=Path, default=RESULTS_DIR / "baseline.json"
+    )
+    parser.add_argument(
+        "--diff", nargs=2, type=Path, metavar=("BASE", "CURRENT"),
+        default=None,
+        help="compare two telemetry JSONL archives per span path and "
+             "histogram instead of running the baseline gate",
     )
     parser.add_argument("--results", type=Path, default=RESULTS_DIR)
     parser.add_argument(
@@ -109,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
         default=RESULTS_DIR / "regression_report.json",
     )
     args = parser.parse_args(argv)
+
+    if args.diff is not None:
+        return run_diff(args.diff[0], args.diff[1],
+                        args.tolerance or DEFAULT_TOLERANCE,
+                        args.grace if args.grace is not None else 0.05)
 
     baseline = json.loads(args.baseline.read_text())
     tolerance = args.tolerance

@@ -91,8 +91,17 @@ def _configure_logging(verbose: bool) -> None:
 
 
 def main(argv: Sequence[str] | None = None) -> None:
-    """Run the quick demo (``argv`` defaults to no flags)."""
-    args = _parse_args(argv if argv is not None else [])
+    """Run the quick demo (``argv`` defaults to no flags).
+
+    ``python -m repro report <telemetry.jsonl>`` dispatches to the
+    round-health report renderer instead (see :mod:`repro.obs.report`).
+    """
+    argv = list(argv) if argv is not None else []
+    if argv and argv[0] == "report":
+        from .obs import report
+
+        raise SystemExit(report.main(argv[1:]))
+    args = _parse_args(argv)
     _configure_logging(args.verbose)
 
     sinks: list = [obs.MemorySink()]
@@ -153,8 +162,6 @@ def main(argv: Sequence[str] | None = None) -> None:
             logger.info("  shard recovery: %d leaf crash(es), %d "
                         "failover(s), min completion rate %.2f",
                         crashes, failovers, completion)
-            summary = obs.render_summary(
-                title="telemetry summary (demo run)")
         else:
             a = system.run_round(traced=True)
             other = OliveSystem(
@@ -168,10 +175,12 @@ def main(argv: Sequence[str] | None = None) -> None:
             logger.info("  oblivious aggregation verified: %s (%d recorded "
                         "accesses)", traces_equal(a.trace, b.trace),
                         len(a.trace))
-            summary = obs.render_summary(
-                title="telemetry summary (demo run)")
             other.close()
-    system.close()
+        # Close inside the session: executor shutdown drains any
+        # process-worker telemetry shards into the attached sinks
+        # before the summary is rendered and the final snapshot flushed.
+        system.close()
+        summary = obs.render_summary(title="telemetry summary (demo run)")
 
     logger.debug("%s", summary)
     if args.telemetry_out:

@@ -208,7 +208,7 @@ class OliveSystem:
         dropouts = dropouts or set()
 
         with obs.span(
-            "round", index=len(self.history),
+            "round", hist="round.wall_s", index=len(self.history),
             aggregator=self.config.aggregator, traced=traced,
             executor=self.runtime_config.executor,
         ):

@@ -72,8 +72,12 @@ def quantize_stochastic(
     """
     n_levels, scale = _levels_and_scale(update.values, bits)
     if len(update.values) == 0 or scale == 0.0:
+        # scale underflows to 0.0 for subnormal magnitudes; quantize
+        # those to zero levels (one per index, keeping the update
+        # well-formed) under a unit scale.
         return QuantizedUpdate(update.client_id, update.indices.copy(),
-                               np.zeros(0, dtype=np.int64), 1.0, bits)
+                               np.zeros(len(update.indices), dtype=np.int64),
+                               1.0, bits)
     scaled = update.values / scale
     floor = np.floor(scaled)
     frac = scaled - floor
@@ -87,9 +91,10 @@ def quantize_stochastic(
 def quantize_deterministic(update: LocalUpdate, bits: int) -> QuantizedUpdate:
     """Nearest-level rounding."""
     n_levels, scale = _levels_and_scale(update.values, bits)
-    if len(update.values) == 0:
+    if len(update.values) == 0 or scale == 0.0:
         return QuantizedUpdate(update.client_id, update.indices.copy(),
-                               np.zeros(0, dtype=np.int64), 1.0, bits)
+                               np.zeros(len(update.indices), dtype=np.int64),
+                               1.0, bits)
     levels = np.clip(np.round(update.values / scale), -n_levels,
                      n_levels).astype(np.int64)
     return QuantizedUpdate(update.client_id, update.indices.copy(),

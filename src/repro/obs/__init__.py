@@ -10,31 +10,48 @@ default).  Typical use::
     print(obs.render_summary())
 
 Instrumented modules call ``obs.span(...)`` / ``obs.add(...)`` /
-``obs.gauge(...)`` unconditionally; with telemetry disabled these are
-single-attribute-check no-ops, so the hot paths stay unmeasurably
-close to uninstrumented speed (see the overhead guard in
-``benchmarks/bench_trace_engine.py``).
+``obs.gauge(...)`` / ``obs.observe(...)`` unconditionally; with
+telemetry disabled these are single-attribute-check no-ops, so the hot
+paths stay unmeasurably close to uninstrumented speed (see the
+overhead guard in ``benchmarks/bench_trace_engine.py``).
+
+Since the flight-recorder PR the layer is also a distributed tracer:
+spans carry ``trace_id``/``span_id``/``parent_id``, contexts propagate
+explicitly across executor and shard boundaries
+(:func:`current_context` / ``span(parent=...)``), forked workers
+record to JSONL shards merged back with :func:`absorb_events`, and the
+recording renders as a round-health report (:mod:`repro.obs.report`,
+``python -m repro report``) or diffs against another run
+(:mod:`repro.obs.diffing`).
 """
 
 from .sinks import JsonlSink, MemorySink, NullSink, read_jsonl
 from .summary import dump_jsonl, render_summary, summary_tree
 from .telemetry import (
     NOOP_SPAN,
+    Histogram,
     Span,
     SpanStats,
     Telemetry,
+    TraceContext,
+    absorb_events,
     add,
+    adopt_worker_session,
     configure,
+    current_context,
     disable,
     enabled,
+    event,
     gauge,
     get_telemetry,
+    observe,
     reset,
     session,
     span,
 )
 
 __all__ = [
+    "Histogram",
     "JsonlSink",
     "MemorySink",
     "NOOP_SPAN",
@@ -42,13 +59,19 @@ __all__ = [
     "Span",
     "SpanStats",
     "Telemetry",
+    "TraceContext",
+    "absorb_events",
     "add",
+    "adopt_worker_session",
     "configure",
+    "current_context",
     "disable",
     "dump_jsonl",
     "enabled",
+    "event",
     "gauge",
     "get_telemetry",
+    "observe",
     "read_jsonl",
     "render_summary",
     "reset",

@@ -6,13 +6,22 @@ need no synchronization of their own but must keep ``emit`` cheap.
 
 * :class:`MemorySink` -- in-process event list (tests, summary dumps).
 * :class:`JsonlSink` -- one JSON object per line, the machine-readable
-  stream the benchmarks archive next to their results.
+  stream the benchmarks archive next to their results.  Crash-safe:
+  registers an atexit flush/close guard on first open, refuses to
+  write from a process that did not open it (a forked child), and
+  supports :meth:`disinherit` so a fork can drop the parent's buffered
+  handle without duplicating its contents.
 * :class:`NullSink` -- swallows everything (placeholder wiring).
+
+:func:`read_jsonl` parses a stream back, tolerating a truncated final
+line by default -- the signature a killed recorder leaves behind.
 """
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
 from pathlib import Path
 from typing import IO
 
@@ -62,43 +71,99 @@ class MemorySink:
 class JsonlSink:
     """Streams events as JSON Lines to ``path`` (created lazily).
 
-    ``append=False`` (default) truncates any previous stream so one
-    benchmark run leaves exactly one coherent event file.
+    ``append=False`` (default) truncates any previous stream on first
+    open so one benchmark run leaves exactly one coherent event file;
+    after the first open the mode switches to append, so a
+    close-then-reopen (atexit after an explicit close race) never
+    truncates what was already written.
+
+    A killed run must still leave a parseable stream, so the sink
+    registers an atexit flush/close guard on first open (unregistered
+    again on explicit close), and every write is guarded by the owning
+    pid -- a forked child holding an inherited copy cannot interleave
+    bytes into the parent's file.
     """
 
     def __init__(self, path: str | Path, append: bool = False) -> None:
         self.path = Path(path)
         self._mode = "a" if append else "w"
         self._fh: IO[str] | None = None
+        self._owner_pid: int | None = None
 
-    def _handle(self) -> IO[str]:
+    def _handle(self) -> IO[str] | None:
         if self._fh is None:
+            if self._owner_pid is not None and self._owner_pid != os.getpid():
+                return None  # inherited across fork: never reopen here
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, self._mode)
+            self._mode = "a"
+            self._owner_pid = os.getpid()
+            atexit.register(self.close)
+        elif self._owner_pid != os.getpid():
+            return None
         return self._fh
 
     def emit(self, event: dict) -> None:
         """Write one event as a JSON line."""
-        self._handle().write(json.dumps(event, default=str) + "\n")
+        fh = self._handle()
+        if fh is not None:
+            fh.write(json.dumps(event, default=str) + "\n")
 
     def flush(self) -> None:
         """Flush the file buffer (touches the file even if empty)."""
-        self._handle().flush()
+        fh = self._handle()
+        if fh is not None:
+            fh.flush()
 
     def close(self) -> None:
         """Flush and close the stream."""
-        if self._fh is not None:
+        if self._fh is not None and self._owner_pid == os.getpid():
+            try:
+                atexit.unregister(self.close)
+            except Exception:
+                pass
             self._fh.flush()
             self._fh.close()
             self._fh = None
 
+    def disinherit(self) -> None:
+        """Drop an inherited handle in a forked child without writing.
 
-def read_jsonl(path: str | Path) -> list[dict]:
-    """Parse a JSONL event stream back into event dicts."""
+        Closing normally would flush the parent's buffered lines a
+        second time from the child (``detach`` flushes too), so the
+        file descriptor is repointed at ``os.devnull`` first: the
+        close still flushes, but the buffered bytes land in the void
+        and the real stream is untouched.
+        """
+        fh, self._fh = self._fh, None
+        if fh is None:
+            return
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, fh.fileno())
+            os.close(devnull)
+            fh.close()
+        except Exception:
+            pass
+
+
+def read_jsonl(path: str | Path, strict: bool = False) -> list[dict]:
+    """Parse a JSONL event stream back into event dicts.
+
+    A truncated *final* line (the mark a killed recorder leaves) is
+    silently dropped unless ``strict``; corruption anywhere else
+    always raises.
+    """
     events = []
     with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+        lines = [ln.strip() for ln in fh]
+    last = len(lines) - 1
+    for i, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if strict or i != last:
+                raise
     return events

@@ -89,6 +89,16 @@ def render_summary(telemetry: Telemetry | None = None,
         lines.append("gauges:")
         for name, value in sorted(tel.gauges.items()):
             lines.append(f"  {name:<40} {value:g}")
+    if tel.histograms:
+        lines.append("histograms:")
+        for name, hist in sorted(tel.histograms.items()):
+            lines.append(
+                f"  {name:<28} n={hist.count:<6} "
+                f"p50 {_fmt_seconds(hist.percentile(0.50)):>9}  "
+                f"p95 {_fmt_seconds(hist.percentile(0.95)):>9}  "
+                f"p99 {_fmt_seconds(hist.percentile(0.99)):>9}  "
+                f"max {_fmt_seconds(hist.vmax if hist.count else 0.0):>9}"
+            )
     if len(lines) == 1:
         lines.append("  (no telemetry recorded)")
     return "\n".join(lines)

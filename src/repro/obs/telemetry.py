@@ -1,46 +1,85 @@
-"""Structured telemetry: spans, counters, gauges, and a no-op fast path.
+"""Structured telemetry: traced spans, counters, gauges, histograms.
 
 The simulator's performance story (Figures 10-12, Table 1) depends on
 knowing *where* a round spends its time -- client training vs ECALL
 decryption vs the oblivious kernel vs cost-model replay.  This module
-is the single instrumentation substrate for the whole stack:
+is the single instrumentation substrate for the whole stack, and since
+the flight-recorder PR it is also a *distributed tracer*: every span
+carries ``trace_id``/``span_id``/``parent_id``, contexts propagate
+explicitly across thread/process executor boundaries, and the merged
+event stream reconstructs one causally-linked tree per round even when
+parts of it were recorded inside forked workers.
 
 * :func:`span` -- a nested context manager recording wall time, CPU
   time, and (opt-in) the tracemalloc memory high-water mark of one
   phase.  Spans know their parents: ``span("round")`` containing
-  ``span("aggregate")`` yields the path ``"round/aggregate"``.
+  ``span("aggregate")`` yields the path ``"round/aggregate"``.  An
+  explicit ``parent=`` :class:`TraceContext` (captured with
+  :func:`current_context`, shipped to a worker inside its job) re-roots
+  the span under a remote parent -- the worker's span then carries the
+  coordinator's ``trace_id`` and full path, so merged streams need no
+  path rewriting.  ``hist=`` additionally records the span's wall time
+  into the named histogram.
 * :func:`add` / :func:`gauge` -- cumulative counters (accesses
-  recorded, bytes sealed, clients dropped) and last-value gauges
-  (cost-model hit/miss totals).
+  recorded, bytes sealed, clients dropped) and last-value gauges.
+  Gauge sets are also emitted to sinks as timestamped events so
+  time-series (the privacy-budget trajectory) survive into the JSONL.
+* :func:`observe` -- record one value into a fixed-bucket log-spaced
+  :class:`Histogram` with p50/p95/p99 export; the latency-distribution
+  primitive (per-client train latency, ECALL duration, shard latency).
+* :func:`event` -- a timestamped point event (a leaf crash, a
+  failover) linked to the currently open span.
 * pluggable sinks (:mod:`repro.obs.sinks`) receiving one event dict per
-  finished span plus counter/gauge snapshots on flush.
+  finished span plus counter/gauge/histogram snapshots on flush.
+  Sinks are flushed whenever a span tree completes (the local stack
+  empties), so a crashed run still leaves a parseable stream.
 
 Telemetry is **disabled by default** and the disabled path is a single
 attribute check: :func:`span` returns a shared no-op context manager
-and :func:`add`/:func:`gauge` return immediately, so instrumented hot
-paths cost nothing measurable (guarded by
+and :func:`add`/:func:`gauge`/:func:`observe` return immediately, so
+instrumented hot paths cost nothing measurable (guarded by
 ``benchmarks/bench_trace_engine.py::test_telemetry_overhead_guard``).
 Consequently instrumentation sits at *call* granularity (one span per
 kernel invocation, per ECALL, per phase) -- never per element.
 
+**Fork safety**: a forked child inherits the parent's enabled flag and
+sink objects; left alone it would interleave garbage into the parent's
+stream.  An ``os.register_at_fork`` hook therefore disables telemetry
+in every forked child and discards inherited sink buffers unwritten --
+worker ``obs.add``/``obs.span`` calls degrade to true no-ops until the
+child explicitly opts in via :func:`adopt_worker_session` (the process
+executor's flight-recording path, which gives each worker its own
+JSONL shard the coordinator later merges with :func:`absorb_events`).
+
 Event schema (what sinks receive):
 
 ``{"type": "span", "seq": int, "name": str, "path": str, "depth": int,
+"trace_id": str, "span_id": str, "parent_id": str | None,
 "t_start": float, "wall_s": float, "cpu_s": float, "attrs": dict}``
 plus optional ``"mem_peak"`` (bytes, when memory tracking is on) and
-``"error": true`` when the span body raised.  Snapshots emit
-``{"type": "counter"|"gauge", "name": str, "value": float}``; consumers
-of a stream with several snapshots take the last value per name
-(counters are cumulative).
+``"error": true`` when the span body raised.  Point events emit
+``{"type": "event", "name": str, "t": float, "trace_id": str | None,
+"parent_id": str | None, "attrs": dict}``; gauge sets emit
+``{"type": "gauge", "name": str, "value": float, "t": float}``.
+Snapshots emit ``{"type": "counter"|"gauge", "name": str, "value":
+float}`` and ``{"type": "hist", "name": str, "count": int, "sum":
+float, "min": float, "max": float, "p50": float, "p95": float,
+"p99": float, "buckets": {str(bucket_index): count}}``; consumers of a
+stream with several snapshots take the last value per name (counters
+are cumulative).
 """
 
 from __future__ import annotations
 
+import itertools
+import math
+import os
 import threading
 import time
 import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Iterator, Sequence
 
 
@@ -64,6 +103,23 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """A portable reference to an open span: ship it to a worker.
+
+    Carries everything a remote child span needs to link itself into
+    the originating tree -- the trace id, the parent's span id, and the
+    parent's full path (so the child's path continues the tree without
+    any merge-time rewriting).  Plain picklable dataclass: it rides
+    inside :class:`repro.runtime.jobs.ClientJob` across fork/pickle
+    boundaries.
+    """
+
+    trace_id: str
+    span_id: str
+    path: str = ""
+
+
 @dataclass
 class SpanStats:
     """Aggregated statistics for every span sharing one path."""
@@ -75,6 +131,118 @@ class SpanStats:
     mem_peak: int = 0  # max over instances, bytes
 
 
+#: Histogram bucket geometry: log-spaced upper bounds covering
+#: 1e-7 .. 1e+5 (12 decades) at 8 buckets per decade, plus one
+#: underflow bucket below the first bound and one overflow bucket
+#: above the last -- wide enough for seconds-scale latencies and
+#: count-scale metrics alike at ~33% relative resolution.
+_HIST_MIN = 1e-7
+_HIST_PER_DECADE = 8
+_HIST_DECADES = 12
+HIST_BOUNDS: tuple[float, ...] = tuple(
+    _HIST_MIN * 10.0 ** (i / _HIST_PER_DECADE)
+    for i in range(_HIST_PER_DECADE * _HIST_DECADES + 1)
+)
+
+
+class Histogram:
+    """Dependency-free fixed-bucket histogram with percentile export.
+
+    Buckets are log-spaced (:data:`HIST_BOUNDS`); values at or below
+    the smallest bound (including zero and negatives) land in the
+    underflow bucket, values above the largest in the overflow bucket.
+    Percentiles interpolate geometrically inside a bucket and are
+    clamped to the observed ``[min, max]``, so small-count histograms
+    stay honest.
+    """
+
+    __slots__ = ("counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(HIST_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        if not value > _HIST_MIN:  # zero, negative, NaN -> underflow
+            return 0
+        idx = int(math.log10(value / _HIST_MIN) * _HIST_PER_DECADE) + 1
+        if idx < 1:
+            return 1
+        return min(idx, len(HIST_BOUNDS))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]) from the bucket counts."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            seen += c
+            if seen >= target:
+                lo = HIST_BOUNDS[i - 1] if 0 < i <= len(HIST_BOUNDS) \
+                    else _HIST_MIN
+                hi = HIST_BOUNDS[i] if i < len(HIST_BOUNDS) else self.vmax
+                if i == 0 or hi <= lo:
+                    est = self.vmin if i == 0 else hi
+                else:
+                    frac = 1.0 - (seen - target) / c
+                    est = lo * (hi / lo) ** frac
+                return min(max(est, self.vmin), self.vmax)
+        return self.vmax
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (a worker shard's) into this one."""
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+
+    def snapshot(self, name: str) -> dict:
+        """The ``hist`` snapshot event for this histogram."""
+        return {
+            "type": "hist", "name": name, "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "buckets": {str(i): c for i, c in enumerate(self.counts) if c},
+        }
+
+    @classmethod
+    def from_snapshot(cls, event: dict) -> "Histogram":
+        """Rebuild a histogram from its ``hist`` snapshot event."""
+        h = cls()
+        for key, c in event.get("buckets", {}).items():
+            h.counts[int(key)] = int(c)
+        h.count = int(event.get("count", sum(h.counts)))
+        h.total = float(event.get("sum", 0.0))
+        if h.count:
+            h.vmin = float(event.get("min", 0.0))
+            h.vmax = float(event.get("max", 0.0))
+        return h
+
+
 class Span:
     """A live span; use via ``with telemetry.span(name): ...``.
 
@@ -83,9 +251,12 @@ class Span:
     """
 
     __slots__ = ("_tel", "name", "attrs", "path", "depth", "_t_start",
-                 "_t0_wall", "_t0_cpu", "_mem0")
+                 "_t0_wall", "_t0_cpu", "_mem0", "trace_id", "span_id",
+                 "parent_id", "_parent_ctx", "_hist")
 
-    def __init__(self, tel: "Telemetry", name: str, attrs: dict) -> None:
+    def __init__(self, tel: "Telemetry", name: str, attrs: dict,
+                 parent: TraceContext | None = None,
+                 hist: str | None = None) -> None:
         self._tel = tel
         self.name = name
         self.attrs = attrs
@@ -95,6 +266,11 @@ class Span:
         self._t0_wall = 0.0
         self._t0_cpu = 0.0
         self._mem0 = -1
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id: str | None = None
+        self._parent_ctx = parent
+        self._hist = hist
 
     def set(self, **attrs: Any) -> "Span":
         """Attach/overwrite attributes on the open span."""
@@ -102,16 +278,32 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
-        stack = self._tel._stack()
-        if stack:
+        tel = self._tel
+        stack = tel._stack()
+        ctx = self._parent_ctx
+        if ctx is not None:
+            # Explicit (possibly remote) parent wins over the local
+            # stack: every executor's client spans then share one path
+            # family regardless of where the work physically ran.
+            self.trace_id = ctx.trace_id
+            self.parent_id = ctx.span_id
+            self.path = (ctx.path + "/" + self.name) if ctx.path \
+                else self.name
+            self.depth = self.path.count("/")
+        elif stack:
             parent = stack[-1]
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
             self.path = parent.path + "/" + self.name
             self.depth = parent.depth + 1
+        else:
+            self.trace_id = tel._next_id("t")
+        self.span_id = tel._next_id("s")
         stack.append(self)
-        if self._tel._track_memory and tracemalloc.is_tracing():
+        if tel._track_memory and tracemalloc.is_tracing():
             self._mem0 = tracemalloc.get_traced_memory()[0]
             tracemalloc.reset_peak()
-        self._t_start = time.perf_counter() - self._tel._epoch
+        self._t_start = time.perf_counter() - tel._epoch
         self._t0_wall = time.perf_counter()
         self._t0_cpu = time.process_time()
         return self
@@ -130,7 +322,8 @@ class Span:
         elif self in stack:  # unbalanced exit; recover
             stack.remove(self)
         self._tel._finish_span(self, wall, cpu, mem_peak,
-                               error=exc_type is not None)
+                               error=exc_type is not None,
+                               tree_complete=not stack)
         return False
 
 
@@ -149,12 +342,21 @@ class Telemetry:
         self._local = threading.local()
         self._enabled = False
         self._track_memory = False
+        # Worker mode: stream counter/histogram mutations to the sinks
+        # as they happen.  Forked pool workers exit through os._exit
+        # (no atexit), so a final registry snapshot would never be
+        # written; incremental events make the shard complete at every
+        # tree-completion flush instead.
+        self._stream_stats = False
         self.sinks: list[Any] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
         self.span_stats: dict[str, SpanStats] = {}
         self._seq = 0
         self._epoch = time.perf_counter()
+        self._ids = itertools.count(1)
+        self._pid_tag = "%x" % os.getpid()
         self.configure(enabled=enabled, sinks=sinks,
                        track_memory=track_memory)
 
@@ -172,6 +374,8 @@ class Telemetry:
         if sinks is not None:
             self.sinks = list(sinks)
         self._track_memory = track_memory
+        self._stream_stats = False
+        self._pid_tag = "%x" % os.getpid()
         if track_memory and enabled and not tracemalloc.is_tracing():
             tracemalloc.start()
         return self
@@ -181,16 +385,41 @@ class Telemetry:
         with self._lock:
             self.counters.clear()
             self.gauges.clear()
+            self.histograms.clear()
             self.span_stats.clear()
             self._seq = 0
             self._epoch = time.perf_counter()
+            self._ids = itertools.count(1)
+            self._pid_tag = "%x" % os.getpid()
+
+    def _next_id(self, prefix: str) -> str:
+        # itertools.count.__next__ is atomic under the GIL; the pid tag
+        # keeps ids unique across forked workers recording in parallel.
+        return f"{prefix}{self._pid_tag}-{next(self._ids):x}"
 
     # -- recording -------------------------------------------------------
-    def span(self, name: str, **attrs: Any) -> Span | _NoopSpan:
-        """Open a span; no-op (and allocation-free) when disabled."""
+    def span(self, name: str, *, parent: TraceContext | None = None,
+             hist: str | None = None, **attrs: Any) -> Span | _NoopSpan:
+        """Open a span; no-op (and allocation-free) when disabled.
+
+        ``parent`` re-roots the span under an explicit (possibly
+        remote) :class:`TraceContext`; ``hist`` additionally records
+        the span's wall seconds into the named histogram on exit.
+        """
         if not self._enabled:
             return NOOP_SPAN
-        return Span(self, name, attrs)
+        return Span(self, name, attrs, parent=parent, hist=hist)
+
+    def current_context(self) -> TraceContext | None:
+        """The innermost open span on this thread, as a portable ref."""
+        if not self._enabled:
+            return None
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        top = stack[-1]
+        return TraceContext(trace_id=top.trace_id, span_id=top.span_id,
+                            path=top.path)
 
     def add(self, name: str, value: float = 1.0) -> None:
         """Increment a cumulative counter."""
@@ -198,13 +427,61 @@ class Telemetry:
             return
         with self._lock:
             self.counters[name] = self.counters.get(name, 0.0) + value
+            if self._stream_stats and self.sinks:
+                event = {"type": "counter_add", "name": name,
+                         "value": float(value)}
+                for sink in self.sinks:
+                    sink.emit(event)
 
     def gauge(self, name: str, value: float) -> None:
-        """Set a last-value-wins gauge."""
+        """Set a last-value-wins gauge (emitted to sinks with a time)."""
         if not self._enabled:
             return
         with self._lock:
             self.gauges[name] = float(value)
+            if self.sinks:
+                event = {"type": "gauge", "name": name,
+                         "value": float(value),
+                         "t": round(time.perf_counter() - self._epoch, 9)}
+                for sink in self.sinks:
+                    sink.emit(event)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._observe_locked(name, value)
+
+    def _observe_locked(self, name: str, value: float) -> None:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        h.observe(value)
+        if self._stream_stats and self.sinks:
+            event = {"type": "observe", "name": name, "value": float(value)}
+            for sink in self.sinks:
+                sink.emit(event)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit a timestamped point event linked to the open span."""
+        if not self._enabled:
+            return
+        stack = getattr(self._local, "stack", None)
+        trace_id = parent_id = None
+        if stack:
+            trace_id, parent_id = stack[-1].trace_id, stack[-1].span_id
+        with self._lock:
+            if not self.sinks:
+                return
+            event = {
+                "type": "event", "name": name,
+                "t": round(time.perf_counter() - self._epoch, 9),
+                "trace_id": trace_id, "parent_id": parent_id,
+                "attrs": attrs,
+            }
+            for sink in self.sinks:
+                sink.emit(event)
 
     def _stack(self) -> list:
         stack = getattr(self._local, "stack", None)
@@ -214,7 +491,8 @@ class Telemetry:
         return stack
 
     def _finish_span(self, span: Span, wall: float, cpu: float,
-                     mem_peak: int, error: bool) -> None:
+                     mem_peak: int, error: bool,
+                     tree_complete: bool = False) -> None:
         with self._lock:
             seq = self._seq
             self._seq += 1
@@ -228,11 +506,15 @@ class Telemetry:
                 stats.errors += 1
             if mem_peak > stats.mem_peak:
                 stats.mem_peak = mem_peak
+            if span._hist is not None:
+                self._observe_locked(span._hist, wall)
             if not self.sinks:
                 return
             event: dict[str, Any] = {
                 "type": "span", "seq": seq, "name": span.name,
                 "path": span.path, "depth": span.depth,
+                "trace_id": span.trace_id, "span_id": span.span_id,
+                "parent_id": span.parent_id,
                 "t_start": round(span._t_start, 9),
                 "wall_s": round(wall, 9), "cpu_s": round(cpu, 9),
                 "attrs": span.attrs,
@@ -243,20 +525,81 @@ class Telemetry:
                 event["error"] = True
             for sink in self.sinks:
                 sink.emit(event)
+            if tree_complete:
+                # Crash safety: a completed span tree is a consistent
+                # prefix -- push it to disk so a killed run still
+                # leaves a parseable recording.
+                for sink in self.sinks:
+                    sink.flush()
+
+    # -- merge (flight-recorder shards) ----------------------------------
+    def absorb_events(self, events: Sequence[dict]) -> int:
+        """Merge a drained worker shard's events into this registry.
+
+        Span events update ``span_stats`` (their paths are already
+        full, thanks to explicit-context propagation), counters add,
+        gauges last-write-win, histograms merge bucket-wise, and every
+        absorbed event is re-emitted to the attached sinks so the
+        coordinator's stream becomes the complete flight recording.
+        Returns the number of events absorbed.
+        """
+        if not self._enabled or not events:
+            return 0
+        n = 0
+        with self._lock:
+            for event in events:
+                kind = event.get("type")
+                if kind == "span":
+                    stats = self.span_stats.get(event["path"])
+                    if stats is None:
+                        stats = self.span_stats[event["path"]] = SpanStats()
+                    stats.count += 1
+                    stats.wall_s += event.get("wall_s", 0.0)
+                    stats.cpu_s += event.get("cpu_s", 0.0)
+                    if event.get("error"):
+                        stats.errors += 1
+                    if event.get("mem_peak", -1) > stats.mem_peak:
+                        stats.mem_peak = event["mem_peak"]
+                elif kind in ("counter", "counter_add"):
+                    self.counters[event["name"]] = (
+                        self.counters.get(event["name"], 0.0)
+                        + float(event["value"]))
+                elif kind == "observe":
+                    h = self.histograms.get(event["name"])
+                    if h is None:
+                        h = self.histograms[event["name"]] = Histogram()
+                    h.observe(float(event["value"]))
+                elif kind == "gauge":
+                    self.gauges[event["name"]] = float(event["value"])
+                elif kind == "hist":
+                    h = self.histograms.get(event["name"])
+                    if h is None:
+                        h = self.histograms[event["name"]] = Histogram()
+                    h.merge(Histogram.from_snapshot(event))
+                elif kind != "event":
+                    continue
+                n += 1
+                for sink in self.sinks:
+                    sink.emit(event)
+            for sink in self.sinks:
+                sink.flush()
+        return n
 
     # -- output ----------------------------------------------------------
     def snapshot_events(self) -> list[dict]:
-        """Current counters and gauges as a list of snapshot events."""
+        """Current counters, gauges, and histograms as snapshot events."""
         with self._lock:
             return (
                 [{"type": "counter", "name": n, "value": v}
                  for n, v in sorted(self.counters.items())]
                 + [{"type": "gauge", "name": n, "value": v}
                    for n, v in sorted(self.gauges.items())]
+                + [h.snapshot(n)
+                   for n, h in sorted(self.histograms.items())]
             )
 
     def flush(self, snapshot: bool = True) -> None:
-        """Emit a counter/gauge snapshot (optional) and flush sinks."""
+        """Emit a counter/gauge/histogram snapshot and flush sinks."""
         if snapshot:
             for event in self.snapshot_events():
                 for sink in self.sinks:
@@ -273,6 +616,36 @@ class Telemetry:
 
 #: Process-global telemetry instance used by the instrumented modules.
 _GLOBAL = Telemetry()
+
+
+def _disable_in_forked_child() -> None:
+    """Make a forked child's inherited telemetry a true no-op.
+
+    The child shares the parent's sink objects (and, for file sinks,
+    the parent's buffered handle) by memory copy; recording through
+    them would interleave garbage into the parent's stream, and even a
+    GC-time flush of the inherited buffer would duplicate lines.  So:
+    disable, discard inherited sinks *without writing* (sinks expose
+    ``disinherit`` for exactly this), and give the child fresh
+    thread-local state and a fresh pid tag.  A worker that *should*
+    record opts back in through :func:`adopt_worker_session`.
+    """
+    tel = _GLOBAL
+    tel._enabled = False
+    for sink in tel.sinks:
+        disinherit = getattr(sink, "disinherit", None)
+        if disinherit is not None:
+            try:
+                disinherit()
+            except Exception:
+                pass
+    tel.sinks = []
+    tel._local = threading.local()
+    tel._pid_tag = "%x" % os.getpid()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows spawn-only platforms
+    os.register_at_fork(after_in_child=_disable_in_forked_child)
 
 
 def get_telemetry() -> Telemetry:
@@ -297,11 +670,19 @@ def reset() -> None:
     _GLOBAL.reset()
 
 
-def span(name: str, **attrs: Any) -> Span | _NoopSpan:
+def span(name: str, *, parent: TraceContext | None = None,
+         hist: str | None = None, **attrs: Any) -> Span | _NoopSpan:
     """Open a span on the global instance (no-op when disabled)."""
     if not _GLOBAL._enabled:
         return NOOP_SPAN
-    return Span(_GLOBAL, name, attrs)
+    return Span(_GLOBAL, name, attrs, parent=parent, hist=hist)
+
+
+def current_context() -> TraceContext | None:
+    """Portable context of the open span (None when disabled/empty)."""
+    if not _GLOBAL._enabled:
+        return None
+    return _GLOBAL.current_context()
 
 
 def add(name: str, value: float = 1.0) -> None:
@@ -318,9 +699,57 @@ def gauge(name: str, value: float) -> None:
     _GLOBAL.gauge(name, value)
 
 
+def observe(name: str, value: float) -> None:
+    """Record into a global histogram (no-op when disabled)."""
+    if not _GLOBAL._enabled:
+        return
+    _GLOBAL.observe(name, value)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit a global point event (no-op when disabled)."""
+    if not _GLOBAL._enabled:
+        return
+    _GLOBAL.event(name, **attrs)
+
+
+def absorb_events(events: Sequence[dict]) -> int:
+    """Merge drained worker-shard events into the global registry."""
+    return _GLOBAL.absorb_events(events)
+
+
 def enabled() -> bool:
     """Is the global instance recording?"""
     return _GLOBAL._enabled
+
+
+def adopt_worker_session(shard_dir: str | Path, epoch: float) -> Telemetry:
+    """Opt a forked worker into flight recording (its own JSONL shard).
+
+    Called from the process executor's worker initializer *after* the
+    at-fork hook disabled the inherited state.  The worker records to
+    ``<shard_dir>/worker-<pid>.jsonl``; ``epoch`` is the coordinator's
+    perf-counter epoch, so span ``t_start`` values from every worker
+    and the coordinator share one timeline (fork keeps the monotonic
+    clock origin).  Pool workers exit through ``os._exit`` (no atexit),
+    so the session runs in *streaming* mode: every counter increment
+    and histogram observation is written as its own ``counter_add`` /
+    ``observe`` event and the shard is flushed at each span-tree
+    completion -- the shard is always complete up to the last finished
+    job, even if the worker is killed.  The coordinator drains and
+    merges the shards with :func:`absorb_events`.
+    """
+    from .sinks import JsonlSink
+
+    tel = _GLOBAL
+    tel.reset()
+    path = Path(shard_dir) / f"worker-{os.getpid()}.jsonl"
+    sink = JsonlSink(path, append=True)
+    tel.configure(enabled=True, sinks=[sink])
+    tel._stream_stats = True
+    tel._epoch = epoch
+    sink.flush()  # create the shard eagerly so drains see every worker
+    return tel
 
 
 @contextmanager

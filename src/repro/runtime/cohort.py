@@ -207,6 +207,10 @@ class CohortRuntime:
         forced = forced_dropouts or set()
         executor = self._ensure_executor()
         executor.broadcast(weights)
+        # Flight recorder: ship the open (round) span's context with
+        # every job so worker-side client spans join the round's trace
+        # even across thread/process boundaries.
+        trace_ctx = obs.current_context()
 
         outcomes: dict[int, ClientOutcome] = {}
         pending: dict[int, tuple[ClientJob, object]] = {}
@@ -235,6 +239,7 @@ class CohortRuntime:
                 training=training, clip=clip, quantize_bits=quantize_bits,
                 key=self.keys.get(cid) if self.keys is not None else None,
                 delay_s=plan.delay_s, fail_attempts=plan.fail_attempts,
+                trace_ctx=trace_ctx,
             )
             pending[cid] = (job, plan, executor.submit(job))
 
@@ -268,6 +273,11 @@ class CohortRuntime:
                 ))
                 obs.add("runtime.replays_injected")
         obs.gauge("runtime.completed_cohort", len(result.completed))
+        drain = getattr(executor, "drain_telemetry", None)
+        if drain is not None and obs.enabled():
+            # Merge what the process workers recorded so far; the final
+            # snapshots (written at worker exit) arrive at shutdown.
+            obs.absorb_events(drain())
         return result
 
     def _collect(self, executor, cid: int, job: ClientJob, future,
@@ -281,6 +291,7 @@ class CohortRuntime:
             try:
                 res = future.result(timeout=self._wall_timeout(job))
                 latency = time.perf_counter() - t0
+                obs.observe("runtime.client_latency_s", latency)
                 return ClientOutcome(cid, STATUS_OK, attempts=attempt + 1,
                                      retries=retries, latency_s=latency,
                                      plan=plan, result=res)
@@ -305,6 +316,7 @@ class CohortRuntime:
                 backoff = min(cfg.backoff_base_s * (2.0 ** attempt),
                               cfg.backoff_cap_s)
                 if backoff > 0:
+                    obs.observe("runtime.backoff_s", backoff)
                     time.sleep(backoff)
                 attempt += 1
                 retries += 1

@@ -29,15 +29,20 @@ vectorized executor batches whole chunks of the cohort through
 from __future__ import annotations
 
 import dataclasses
+import json
 import multiprocessing as mp
 import pickle
+import shutil
+import tempfile
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..fl.datasets import ClientData
 from ..fl.models import Sequential, supports_batched_training
 from .jobs import (
@@ -289,13 +294,19 @@ class VectorizedExecutor:
 _PROC_CTX: WorkerContext | None = None
 
 
-def _proc_init(payload: bytes, shm_name: str, d: int) -> None:
+def _proc_init(payload: bytes, shm_name: str, d: int,
+               tele: tuple[str, float] | None = None) -> None:
     global _PROC_CTX
     model, clients = pickle.loads(payload)
     shm = shared_memory.SharedMemory(name=shm_name)
     weights = np.ndarray((max(d, 1),), dtype=np.float64, buffer=shm.buf)
     _PROC_CTX = WorkerContext(model=model, clients=clients, weights=weights,
                               extras={"shm": shm})
+    if tele is not None:
+        # Flight recording: opt this worker into its own JSONL shard
+        # (the at-fork hook already disabled the inherited telemetry).
+        shard_dir, epoch = tele
+        obs.adopt_worker_session(shard_dir, epoch)
 
 
 def _proc_job(job: ClientJob) -> ClientJobResult:
@@ -325,6 +336,8 @@ class ProcessExecutor:
         self._pool: ProcessPoolExecutor | None = None
         self._shm: shared_memory.SharedMemory | None = None
         self._weights_view: np.ndarray | None = None
+        self._tele_dir: Path | None = None
+        self._tele_offsets: dict[Path, int] = {}
 
     def start(self, model: Sequential, clients: dict[int, ClientData],
               d: int) -> None:
@@ -334,12 +347,20 @@ class ProcessExecutor:
             (max(d, 1),), dtype=np.float64, buffer=self._shm.buf
         )
         self._weights_view[:] = 0.0
+        tele = None
+        if obs.enabled():
+            # Workers record to per-pid JSONL shards under a private
+            # dir; the coordinator drains and merges them (the events
+            # carry the coordinator's epoch so timelines line up).
+            self._tele_dir = Path(tempfile.mkdtemp(prefix="repro-obs-"))
+            self._tele_offsets = {}
+            tele = (str(self._tele_dir), obs.get_telemetry()._epoch)
         payload = pickle.dumps((model, clients), protocol=pickle.HIGHEST_PROTOCOL)
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=_mp_context(),
             initializer=_proc_init,
-            initargs=(payload, self._shm.name, d),
+            initargs=(payload, self._shm.name, d, tele),
         )
 
     def broadcast(self, weights: np.ndarray) -> None:
@@ -357,10 +378,49 @@ class ProcessExecutor:
         assert self._pool is not None
         return self._pool.submit(_proc_task, task)
 
+    def drain_telemetry(self) -> list[dict]:
+        """New, complete events from the workers' JSONL shards.
+
+        Reads each ``worker-<pid>.jsonl`` past the previously drained
+        byte offset, stopping at the last newline so a line a worker is
+        mid-write never parses as garbage (it is picked up next drain).
+        """
+        if self._tele_dir is None:
+            return []
+        events: list[dict] = []
+        for path in sorted(self._tele_dir.glob("worker-*.jsonl")):
+            offset = self._tele_offsets.get(path, 0)
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+            except OSError:
+                continue
+            end = chunk.rfind(b"\n")
+            if end < 0:
+                continue
+            self._tele_offsets[path] = offset + end + 1
+            for line in chunk[: end + 1].splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:  # torn write; drop the line
+                    continue
+        return events
+
     def shutdown(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._tele_dir is not None:
+            # Workers have exited (their atexit hooks wrote the final
+            # counter/histogram snapshots); fold the remainder in.
+            obs.absorb_events(self.drain_telemetry())
+            shutil.rmtree(self._tele_dir, ignore_errors=True)
+            self._tele_dir = None
+            self._tele_offsets = {}
         if self._shm is not None:
             self._weights_view = None
             try:

@@ -26,6 +26,7 @@ from typing import Any
 
 import numpy as np
 
+from .. import obs
 from ..fl.client import (
     LocalUpdate,
     TrainingConfig,
@@ -80,6 +81,9 @@ class ClientJob:
     delay_s: float = 0.0          # injected straggler latency, slept in-job
     fail_attempts: int = 0        # attempts < fail_attempts raise transiently
     attempt: int = 0
+    # Flight recorder: the coordinator's open round span, so the
+    # worker-side client span joins the same trace even across a fork.
+    trace_ctx: obs.TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -148,6 +152,12 @@ def execute_client_job(ctx: WorkerContext, job: ClientJob) -> ClientJobResult:
     successful attempt returns bits identical to a never-failed run
     (the derivation ignores ``attempt``).
     """
+    with obs.span("client", parent=job.trace_ctx, client=job.client_id,
+                  attempt=job.attempt):
+        return _execute_client_job(ctx, job)
+
+
+def _execute_client_job(ctx: WorkerContext, job: ClientJob) -> ClientJobResult:
     if job.attempt < job.fail_attempts:
         raise TransientWorkerError(
             f"injected transient failure for client {job.client_id} "
@@ -163,6 +173,7 @@ def execute_client_job(ctx: WorkerContext, job: ClientJob) -> ClientJobResult:
         clip=job.clip,
     )
     train_seconds = time.perf_counter() - t0
+    obs.observe("runtime.train_s", train_seconds)
 
     if job.key is None:
         return ClientJobResult(
@@ -252,6 +263,13 @@ def execute_client_jobs_batch(
     """
     if not jobs:
         return []
+    with obs.span("client_batch", parent=jobs[0].trace_ctx, n=len(jobs)):
+        return _execute_client_jobs_batch(ctx, jobs)
+
+
+def _execute_client_jobs_batch(
+    ctx: WorkerContext, jobs: list[ClientJob]
+) -> list[ClientJobResult]:
     dropout_indices = [
         i for i, layer in enumerate(ctx.model.layers)
         if isinstance(layer, Dropout)
@@ -289,6 +307,11 @@ def execute_client_jobs_batch(
             train_rngs, dropout_rngs, clip_override=chunk[0].clip,
         )
         per_client = (time.perf_counter() - t0) / len(chunk)
+        if obs.enabled():
+            # One observation per client (amortized) so the latency
+            # histogram is comparable across executors.
+            for _ in chunk:
+                obs.observe("runtime.train_s", per_client)
         sealed = any(j.key is not None for j in chunk)
         nonces = derive_nonces_batch(entropy, round_index, cids) if sealed \
             else [None] * len(chunk)

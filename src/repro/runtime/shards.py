@@ -532,6 +532,9 @@ class ShardedAggregator:
                     and plan.delay_s > cfg.shard_deadline_s):
                 outcome.deadline_misses += 1
                 obs.add("shard.deadline_misses")
+                obs.event("shard.deadline_miss", shard=shard_index,
+                          leaf=leaf.index, attempt=attempt,
+                          delay_s=plan.delay_s)
                 outcome.latency_s += cfg.shard_deadline_s
                 if attempt >= cfg.max_shard_retries:
                     return self._shard_failed(outcome, t0)
@@ -553,8 +556,9 @@ class ShardedAggregator:
                 remaining = len(deliveries) - resume_pos
                 crash_pos = resume_pos + int(plan.crash_fraction * remaining)
 
-            with obs.span("shard.ingest", shard=shard_index,
-                          leaf=leaf.index, attempt=attempt):
+            with obs.span("shard.ingest", hist="shard.ingest_s",
+                          shard=shard_index, leaf=leaf.index,
+                          attempt=attempt):
                 pos = resume_pos
                 crashed = False
                 while pos < len(deliveries):
@@ -590,12 +594,16 @@ class ShardedAggregator:
                 outcome.wall_s = time.perf_counter() - t0
                 outcome.latency_s += outcome.wall_s
                 obs.add("shard.uploads_accepted", state.accepted)
+                obs.observe("shard.latency_s", outcome.latency_s)
                 return outcome, blob
 
             # Crash: volatile state (partial + pending batch + the
             # enclave's post-checkpoint digest entries) is gone.
             outcome.crashes += 1
             obs.add("shard.crashes")
+            obs.event("shard.crash", shard=shard_index, leaf=leaf.index,
+                      attempt=attempt, fatal=bool(plan.fatal),
+                      position=pos, resumed_from=ckpt_pos)
             if attempt >= cfg.max_shard_retries:
                 if plan.fatal:
                     leaf.alive = False
@@ -629,8 +637,10 @@ class ShardedAggregator:
 
     def _backoff(self, attempt: int) -> float:
         cfg = self.config
-        return min(cfg.backoff_base_s * (2.0 ** (attempt - 1)),
-                   cfg.backoff_cap_s)
+        backoff = min(cfg.backoff_base_s * (2.0 ** (attempt - 1)),
+                      cfg.backoff_cap_s)
+        obs.observe("shard.backoff_s", backoff)
+        return backoff
 
     def _reassign(
         self,
@@ -654,16 +664,23 @@ class ShardedAggregator:
         if kill:
             leaf.alive = False
             obs.add("shard.leaves_lost")
+            obs.event("shard.leaf_lost", leaf=leaf.index,
+                      shard=outcome.shard_index)
         if move:
             target = self._next_leaf(leaf.index)
             outcome.failovers += 1
             obs.add("shard.failovers")
+            obs.event("shard.failover", shard=outcome.shard_index,
+                      source=leaf.index, target=target.index,
+                      from_checkpoint=ckpt is not None)
             with obs.span("shard.failover", source=leaf.index,
                           target=target.index):
                 leaf = target
         else:
             outcome.restarts += 1
             obs.add("shard.restarts")
+            obs.event("shard.restart", shard=outcome.shard_index,
+                      leaf=leaf.index, from_checkpoint=ckpt is not None)
 
         state = _LeafRound(leaf, d, self.config.aggregator, quantize_bits)
         if ckpt is not None:
@@ -710,6 +727,9 @@ class ShardedAggregator:
                     restart_at = None
                     restarts += 1
                     obs.add("shard.root_restarts")
+                    obs.event("shard.root_restart", position=pos,
+                              resumed_from=ckpt_pos,
+                              from_checkpoint=ckpt is not None)
                     if ckpt is not None:
                         with obs.span("shard.restore", leaf="root"):
                             _, restored = root.restore_round_state(ckpt)
@@ -751,4 +771,8 @@ class ShardedAggregator:
         outcome.completed = False
         outcome.wall_s = time.perf_counter() - t0
         obs.add("shard.failed")
+        obs.event("shard.failed", shard=outcome.shard_index,
+                  leaf=outcome.leaf_index, crashes=outcome.crashes,
+                  deadline_misses=outcome.deadline_misses)
+        obs.observe("shard.latency_s", outcome.latency_s)
         return outcome, None

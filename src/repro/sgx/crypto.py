@@ -26,9 +26,12 @@ import hashlib
 import hmac
 import os
 import struct
+import time
 from dataclasses import dataclass
 
 import numpy as np
+
+from .. import obs
 
 KEY_BYTES = 32
 NONCE_BYTES = 16
@@ -107,10 +110,13 @@ def seal(key: bytes, plaintext: bytes, nonce: bytes | None = None) -> Ciphertext
         nonce = os.urandom(NONCE_BYTES)
     if len(nonce) != NONCE_BYTES:
         raise ValueError("nonce must be 16 bytes")
+    t0 = time.perf_counter() if obs.enabled() else 0.0
     enc_key, mac_key = _subkeys(key)
     stream = _keystream(enc_key, nonce, len(plaintext))
     body = _xor_bytes(plaintext, stream)
     tag = hmac.new(mac_key, nonce + body, hashlib.sha256).digest()
+    if t0:
+        obs.observe("crypto.seal_s", time.perf_counter() - t0)
     return Ciphertext(nonce=nonce, body=body, tag=tag)
 
 
@@ -136,12 +142,16 @@ def open_sealed(key: bytes, ct: Ciphertext) -> bytes:
     """Verify and decrypt; raises :class:`AuthenticationError` on forgery."""
     if len(key) != KEY_BYTES:
         raise ValueError("key must be 32 bytes")
+    t0 = time.perf_counter() if obs.enabled() else 0.0
     enc_key, mac_key = _subkeys(key)
     expected = hmac.new(mac_key, ct.nonce + ct.body, hashlib.sha256).digest()
     if not hmac.compare_digest(expected, ct.tag):
         raise AuthenticationError("tag verification failed")
     stream = _keystream(enc_key, ct.nonce, len(ct.body))
-    return _xor_bytes(ct.body, stream)
+    plaintext = _xor_bytes(ct.body, stream)
+    if t0:
+        obs.observe("crypto.unseal_s", time.perf_counter() - t0)
+    return plaintext
 
 
 #: Big-endian (u32 index, f64 value) record -- the exact layout

@@ -242,7 +242,8 @@ class Enclave:
         """Poisson-sample the round's participants inside the enclave."""
         if not 0.0 < rate <= 1.0:
             raise ValueError("sampling rate must be in (0, 1]")
-        with obs.span("ecall.sample_clients", population=len(population)):
+        with obs.span("ecall.sample_clients", hist="ecall.wall_s",
+                      population=len(population)):
             sampled = [cid for cid in population if self._rng.random() < rate]
             if not sampled:
                 # Guarantee progress on tiny populations: resample one.
@@ -349,7 +350,8 @@ class Enclave:
         untrusted host that stores checkpoints between crashes sees
         only ciphertext.
         """
-        with obs.span("ecall.export_state", round=round_index):
+        with obs.span("ecall.export_state", hist="ecall.wall_s",
+                      round=round_index):
             parts = [CHECKPOINT_MAGIC, struct.pack(">I", int(round_index))]
             for ids in (sorted(self._sampled), sorted(self._loaded_clients)):
                 parts.append(struct.pack(">I", len(ids)))
@@ -383,7 +385,7 @@ class Enclave:
         tampered bytes, a different binary, a different platform --
         raises :class:`EnclaveSecurityError` (``reason="checkpoint"``).
         """
-        with obs.span("ecall.restore_state"):
+        with obs.span("ecall.restore_state", hist="ecall.wall_s"):
             try:
                 payload = crypto.open_sealed(self._sealing_key(), checkpoint)
             except crypto.AuthenticationError as exc:
@@ -434,7 +436,8 @@ class Enclave:
         fail AE verification, raising :class:`EnclaveSecurityError` --
         the injection defence of Algorithm 1 line 8.
         """
-        with obs.span("ecall.load_gradient", client=client_id):
+        with obs.span("ecall.load_gradient", hist="ecall.wall_s",
+                      client=client_id):
             digest = self._guard_upload(client_id, ciphertext)
             key = self.keystore.get(client_id)
             try:
@@ -454,7 +457,8 @@ class Enclave:
         self, client_id: int, ciphertext: crypto.Ciphertext
     ) -> tuple[list[int], list[float]]:
         """Decrypt, verify, and dequantize a compact client upload."""
-        with obs.span("ecall.load_quantized_gradient", client=client_id):
+        with obs.span("ecall.load_quantized_gradient", hist="ecall.wall_s",
+                      client=client_id):
             digest = self._guard_upload(client_id, ciphertext)
             key = self.keystore.get(client_id)
             try:
@@ -480,7 +484,8 @@ class Enclave:
 
     def gauss_vector(self, sigma: float, length: int) -> list[float]:
         """A vector of enclave-private Gaussian noise."""
-        with obs.span("ecall.gauss_vector", length=length):
+        with obs.span("ecall.gauss_vector", hist="ecall.wall_s",
+                      length=length):
             return [self._rng.gauss(0.0, sigma) for _ in range(length)]
 
 

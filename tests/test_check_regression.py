@@ -140,3 +140,80 @@ class TestMain:
         assert "fig11" in baseline["benches"]
         assert baseline["benches"]["fig11"]["min_replay_speedup"] >= 4.0
         assert baseline["tolerance"] == 1.5
+
+
+class TestObsCeilings:
+    """Histogram-ceiling enforcement against archived telemetry."""
+
+    def _hist(self, name, p95):
+        return {"type": "hist", "name": name, "count": 10, "sum": 1.0,
+                "min": 0.001, "max": p95 * 2, "p50": p95 / 2,
+                "p95": p95, "p99": p95 * 1.5, "buckets": {}}
+
+    def _write_telemetry(self, tmp_path, name, hists):
+        path = tmp_path / f"{name}_telemetry.json"
+        path.write_text(
+            "".join(json.dumps(h) + "\n" for h in hists))
+
+    def _baseline(self, ceilings):
+        return {"benches": {"b": {"wall_seconds": 1.0, "obs": ceilings}}}
+
+    def test_ceiling_pass(self, tmp_path):
+        write_result(tmp_path, "b", {"wall_seconds": 1.0})
+        self._write_telemetry(tmp_path, "b",
+                              [self._hist("ecall.wall_s", 0.001)])
+        rows, ok = compare(self._baseline(
+            {"ecall.wall_s": {"max_p95": 0.01}}),
+            tmp_path, tolerance=1.5, grace=0.0)
+        assert ok and rows[0]["status"] == "ok"
+
+    def test_ceiling_exceeded_fails(self, tmp_path):
+        write_result(tmp_path, "b", {"wall_seconds": 1.0})
+        self._write_telemetry(tmp_path, "b",
+                              [self._hist("ecall.wall_s", 0.5)])
+        rows, ok = compare(self._baseline(
+            {"ecall.wall_s": {"max_p95": 0.01}}),
+            tmp_path, tolerance=1.5, grace=0.0)
+        assert not ok
+        assert "ecall.wall_s p95" in rows[0]["detail"]
+        assert "ceiling" in rows[0]["detail"]
+
+    def test_last_snapshot_wins(self, tmp_path):
+        # The final flush's snapshot supersedes mid-run worker ones.
+        write_result(tmp_path, "b", {"wall_seconds": 1.0})
+        self._write_telemetry(tmp_path, "b",
+                              [self._hist("ecall.wall_s", 0.5),
+                               self._hist("ecall.wall_s", 0.001)])
+        _, ok = compare(self._baseline(
+            {"ecall.wall_s": {"max_p95": 0.01}}),
+            tmp_path, tolerance=1.5, grace=0.0)
+        assert ok
+
+    def test_missing_telemetry_file_fails(self, tmp_path):
+        write_result(tmp_path, "b", {"wall_seconds": 1.0})
+        rows, ok = compare(self._baseline(
+            {"ecall.wall_s": {"max_p95": 0.01}}),
+            tmp_path, tolerance=1.5, grace=0.0)
+        assert not ok
+        assert "BENCH_TELEMETRY" in rows[0]["detail"]
+
+    def test_missing_histogram_fails(self, tmp_path):
+        write_result(tmp_path, "b", {"wall_seconds": 1.0})
+        self._write_telemetry(tmp_path, "b",
+                              [self._hist("other.hist", 0.001)])
+        rows, ok = compare(self._baseline(
+            {"ecall.wall_s": {"max_p95": 0.01}}),
+            tmp_path, tolerance=1.5, grace=0.0)
+        assert not ok
+        assert "missing" in rows[0]["detail"]
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        write_result(tmp_path, "b", {"wall_seconds": 1.0})
+        path = tmp_path / "b_telemetry.json"
+        path.write_text(
+            json.dumps(self._hist("ecall.wall_s", 0.001)) + "\n"
+            + '{"type": "hist", "tru')
+        _, ok = compare(self._baseline(
+            {"ecall.wall_s": {"max_p95": 0.01}}),
+            tmp_path, tolerance=1.5, grace=0.0)
+        assert ok

@@ -157,7 +157,10 @@ class TestCryptoProperties:
         with pytest.raises(crypto.AuthenticationError):
             crypto.open_sealed(self.KEY, forged)
 
-    @given(st.binary(min_size=1, max_size=200))
+    # min_size=8: a k-byte message XORed with a random keystream equals
+    # itself with probability 2^-8k, so 1-byte drafts flake ~0.4% of
+    # the time; 8 bytes puts the false-failure odds at 2^-64.
+    @given(st.binary(min_size=8, max_size=200))
     @settings(max_examples=30, deadline=None)
     def test_ciphertext_hides_plaintext_prefix(self, message):
         ct = crypto.seal(self.KEY, message)
