@@ -23,7 +23,9 @@ Besides wall clock, any ``min_`` floor recorded in the baseline is
 enforced on the matching key of the bench's payload (e.g.
 ``min_replay_speedup`` gates ``replay_speedup`` in ``fig11.json``),
 letting the gate also catch *model-level* perf regressions that wall
-clock alone would hide behind runner noise.
+clock alone would hide behind runner noise.  ``max_`` ceilings work
+symmetrically (e.g. ``max_audit_overhead_frac`` gates the audit
+subsystem's per-round commitment overhead in ``audit.json``).
 
 Two telemetry-aware extensions ride on the flight-recorder layer:
 
@@ -141,6 +143,17 @@ def compare(
                 failures.append(f"metric {metric!r} missing from payload")
             elif value < floor:
                 failures.append(f"{metric} {value} below floor {floor}")
+        for key, ceiling in ref.items():
+            if not key.startswith("max_"):
+                continue
+            metric = key[len("max_"):]
+            value = payload.get(metric)
+            row[metric] = value
+            if value is None:
+                failures.append(f"metric {metric!r} missing from payload")
+            elif value > ceiling:
+                failures.append(
+                    f"{metric} {value} above ceiling {ceiling}")
         obs_ceilings = ref.get("obs")
         if obs_ceilings:
             failures.extend(

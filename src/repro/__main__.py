@@ -73,6 +73,16 @@ def _parse_args(argv: Sequence[str]) -> argparse.Namespace:
              "demo reports crashes, failovers, and completion rate",
     )
     parser.add_argument(
+        "--straggler-rate", type=float, metavar="P", default=0.0,
+        help="inject client stragglers (delayed uploads) at rate P per "
+             "(round, client)",
+    )
+    parser.add_argument(
+        "--audit-log", metavar="PATH", default=None,
+        help="record a chained audit log of the run at PATH; verify it "
+             "afterwards with 'python -m repro audit PATH --strict'",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0,
         help="base seed for sampling, training, and fault injection",
     )
@@ -101,6 +111,10 @@ def main(argv: Sequence[str] | None = None) -> None:
         from .obs import report
 
         raise SystemExit(report.main(argv[1:]))
+    if argv and argv[0] == "audit":
+        from .audit import cli as audit_cli
+
+        raise SystemExit(audit_cli.main(argv[1:]))
     args = _parse_args(argv)
     _configure_logging(args.verbose)
 
@@ -122,7 +136,8 @@ def main(argv: Sequence[str] | None = None) -> None:
     runtime = RuntimeConfig(
         executor=executor,
         workers=max(1, args.workers),
-        faults=FaultConfig(dropout_rate=args.dropout_rate),
+        faults=FaultConfig(dropout_rate=args.dropout_rate,
+                           straggler_rate=args.straggler_rate),
     )
     shards = None
     if args.shards is not None:
@@ -130,8 +145,22 @@ def main(argv: Sequence[str] | None = None) -> None:
             shards=args.shards,
             faults=EnclaveFaultConfig(leaf_crash_rate=args.leaf_crash_rate),
         )
+    recorder = None
+    if args.audit_log:
+        from .audit import AuditRecorder, make_manifest
+
+        manifest = make_manifest(
+            data={"spec": "tiny", "seed": 0, "n_clients": 20,
+                  "samples_per_client": 30, "labels_per_client": 2,
+                  "partition_seed": 0},
+            model={"name": "tiny_mlp", "seed": 0},
+            config=config, runtime=runtime, shards=shards,
+            seed=args.seed,
+        )
+        recorder = AuditRecorder(args.audit_log, manifest)
     system = OliveSystem(build_model("tiny_mlp", seed=0), clients, config,
-                         seed=args.seed, runtime=runtime, shards=shards)
+                         seed=args.seed, runtime=runtime, shards=shards,
+                         audit=recorder)
     x, y = gen.balanced(20, np.random.default_rng(1))
     logger.info("  %d clients attested; %d-parameter model",
                 len(clients), system.d)
@@ -180,11 +209,18 @@ def main(argv: Sequence[str] | None = None) -> None:
         # process-worker telemetry shards into the attached sinks
         # before the summary is rendered and the final snapshot flushed.
         system.close()
+        if recorder is not None:
+            recorder.close()
         summary = obs.render_summary(title="telemetry summary (demo run)")
 
     logger.debug("%s", summary)
     if args.telemetry_out:
         logger.info("  telemetry events written to %s", args.telemetry_out)
+    if recorder is not None:
+        logger.info(
+            "  audit log: %d round(s) committed and sealed at %s "
+            "(verify: python -m repro audit %s --strict)",
+            recorder.rounds, args.audit_log, args.audit_log)
 
 
 if __name__ == "__main__":

@@ -33,7 +33,12 @@ def save_checkpoint(system: OliveSystem, path: str | Path) -> None:
         "aggregator": system.config.aggregator,
         "clip": system.clipper.clip if system.clipper
                 else system.config.training.clip,
-        "version": 2,
+        # Audit continuity: a checkpoint taken mid-audited-run pins the
+        # chained log's head so a restore can detect a swapped or
+        # rewound log before resuming.
+        "audit_head": system.audit.head if system.audit else None,
+        "audit_rounds": system.audit.rounds if system.audit else None,
+        "version": 3,
     }
     np.savez(
         path,
@@ -74,6 +79,16 @@ def load_checkpoint(system: OliveSystem, path: str | Path) -> dict:
     ]
     if system.clipper is not None:
         system.clipper.clip = float(meta["clip"])
+    # Version <3 checkpoints predate audit logging; nothing to check.
+    expected_head = meta.get("audit_head")
+    if expected_head is not None and system.audit is not None:
+        if system.audit.head != expected_head:
+            raise ValueError(
+                "checkpoint was taken with audit-log head "
+                f"{expected_head[:12]}..., but the attached recorder's "
+                f"head is {system.audit.head[:12]}...; refusing to "
+                "resume onto a diverged audit chain"
+            )
     return meta
 
 

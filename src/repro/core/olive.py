@@ -103,6 +103,7 @@ class OliveSystem:
         seed: int = 0,
         runtime: RuntimeConfig | None = None,
         shards: ShardConfig | None = None,
+        audit=None,
     ) -> None:
         self.model = model
         self.clients = clients
@@ -133,6 +134,11 @@ class OliveSystem:
         # Sharded multi-enclave aggregation: the system's enclave
         # becomes the *root*; leaf enclaves are spawned (attested, keys
         # replicated) by the service on first use.
+        # Verifiable rounds: when an AuditRecorder is attached, every
+        # completed round appends a chained commitment record (accepted
+        # ciphertext Merkle root + released-aggregate digest + sealed
+        # shard-partial digests) to its append-only log.
+        self.audit = audit
         self.shard_service: ShardedAggregator | None = None
         if shards is not None:
             if config.adaptive_clipping:
@@ -364,6 +370,23 @@ class OliveSystem:
             cohort=cohort,
             shard_report=shard_report,
         )
+        if self.audit is not None:
+            self.audit.record_round(
+                log.round_index,
+                accepted=log.participants,
+                ciphertexts=cohort.ciphertext_bytes(log.participants),
+                weights_after=log.weights_after,
+                epsilon=log.epsilon,
+                clip=clip,
+                traced=traced,
+                forced_dropouts=sorted(dropouts),
+                partials=(shard_report.sealed_partials
+                          if shard_report is not None else None),
+                degraded=(shard_report.degraded
+                          if shard_report is not None else False),
+                n_shards=(shard_report.n_shards
+                          if shard_report is not None else None),
+            )
         self.history.append(log)
         return log
 

@@ -26,6 +26,7 @@ import math
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -122,6 +123,28 @@ class CohortResult:
             if o.reason is not None:
                 hist[o.reason] = hist.get(o.reason, 0) + 1
         return dict(sorted(hist.items()))
+
+    def ciphertext_bytes(self, accepted: Iterable[int] | None = None) -> dict[int, bytes]:
+        """Sealed upload bytes per client, in canonical delivery order.
+
+        One entry per client -- the *original* delivery, never a
+        replayed duplicate (exactly the copy the enclave accepted).
+        ``accepted`` restricts the map to those clients; this is what
+        the audit recorder commits to, so the bytes here must be the
+        bytes that crossed the aggregation boundary, corruption
+        included.
+        """
+        wanted = None if accepted is None else {int(c) for c in accepted}
+        blobs: dict[int, bytes] = {}
+        for delivery in self.deliveries:
+            cid = delivery.client_id
+            if delivery.duplicate or cid in blobs:
+                continue
+            if wanted is not None and cid not in wanted:
+                continue
+            if delivery.ciphertext is not None:
+                blobs[cid] = delivery.ciphertext.to_bytes()
+        return blobs
 
 
 def _tamper(ciphertext: Ciphertext) -> Ciphertext:

@@ -195,6 +195,11 @@ class ShardRoundReport:
     root_restarts: int = 0
     latency_s: float = 0.0        # max shard latency + combine
     wall_s: float = 0.0
+    #: (shard, leaf, sealed blob) per completed shard, in combine order
+    #: -- the evidence the audit subsystem commits to, so failover and
+    #: degraded rounds stay verifiable against deterministic replay.
+    sealed_partials: list[tuple[int, int, bytes]] = field(
+        default_factory=list)
 
     @property
     def completion_rate(self) -> float:
@@ -469,6 +474,7 @@ class ShardedAggregator:
                 root_restarts=root_restarts,
                 latency_s=latency + combine_wall,
                 wall_s=time.perf_counter() - t0,
+                sealed_partials=sealed_partials,
             )
             obs.gauge("shard.completion_rate", report.completion_rate)
             obs.gauge("shard.round_latency_s", report.latency_s)

@@ -84,6 +84,29 @@ class TestCompare:
         _, ok = compare(baseline, tmp_path, tolerance=1.5)
         assert not ok
 
+    def test_metric_ceiling_enforced(self, tmp_path):
+        baseline = {"benches": {
+            "audit": {"wall_seconds": 5.0, "max_audit_overhead_frac": 0.2},
+        }}
+        write_result(tmp_path, "audit",
+                     {"wall_seconds": 4.0, "audit_overhead_frac": 0.05})
+        rows, ok = compare(baseline, tmp_path, tolerance=1.5)
+        assert ok and rows[0]["audit_overhead_frac"] == 0.05
+        write_result(tmp_path, "audit",
+                     {"wall_seconds": 4.0, "audit_overhead_frac": 0.5})
+        rows, ok = compare(baseline, tmp_path, tolerance=1.5)
+        assert not ok
+        assert "above ceiling" in rows[0]["detail"]
+
+    def test_metric_ceiling_missing_metric_fails(self, tmp_path):
+        baseline = {"benches": {
+            "audit": {"wall_seconds": 5.0, "max_audit_overhead_frac": 0.2},
+        }}
+        write_result(tmp_path, "audit", {"wall_seconds": 4.0})
+        rows, ok = compare(baseline, tmp_path, tolerance=1.5)
+        assert not ok
+        assert "missing from payload" in rows[0]["detail"]
+
 
 class TestMain:
     def _run(self, tmp_path, baseline, results):

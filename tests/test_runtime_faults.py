@@ -339,7 +339,7 @@ class TestCheckpointRealizedRates:
 
         with make_system(RuntimeConfig(faults=faults)) as fresh:
             meta = load_checkpoint(fresh, path)
-        assert meta["version"] == 2
+        assert meta["version"] == 3
         assert fresh.accountant.realized_rates == rates
         assert fresh.accountant.epsilon == pytest.approx(eps_before)
 
