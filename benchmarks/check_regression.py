@@ -167,7 +167,48 @@ def compare(
     return rows, ok
 
 
-def run_diff(base: Path, cur: Path, tolerance: float, grace: float) -> int:
+def report_gated_metrics(baseline_path: Path, results_dir: Path) -> None:
+    """Informational floor/ceiling table for ``--diff`` mode.
+
+    Prints every ``min_``/``max_`` bound the baseline declares next to
+    the current payload value (when the bench's results exist), so a
+    telemetry diff also shows where the gated model-level metrics stand
+    -- without failing on them (the baseline gate owns that).
+    """
+    if not baseline_path.exists():
+        return
+    baseline = json.loads(baseline_path.read_text())
+    rows = []
+    for name, ref in sorted(baseline.get("benches", {}).items()):
+        bounds = [(k, v) for k, v in ref.items()
+                  if k.startswith(("min_", "max_"))]
+        if not bounds:
+            continue
+        path = results_dir / f"{name}.json"
+        payload = json.loads(path.read_text()) if path.exists() else {}
+        for key, bound in bounds:
+            kind, metric = key.split("_", 1)
+            value = payload.get(metric)
+            if value is None:
+                status = "n/a"
+            elif kind == "min":
+                status = "ok" if value >= bound else "OUT"
+            else:
+                status = "ok" if value <= bound else "OUT"
+            shown = f"{value:.4g}" if isinstance(value, (int, float)) \
+                else "-"
+            rows.append((name, metric, f"{kind} {bound:g}", shown, status))
+    if not rows:
+        return
+    print("\ngated metrics (informational; enforced by the baseline gate):")
+    widths = [max(len(r[i]) for r in rows) for i in range(5)]
+    for row in rows:
+        print("  " + "  ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+
+def run_diff(base: Path, cur: Path, tolerance: float, grace: float,
+             baseline_path: Path | None = None,
+             results_dir: Path | None = None) -> int:
     """Compare two telemetry archives phase-by-phase; 1 on regression."""
     try:
         from repro.obs import diffing
@@ -179,6 +220,8 @@ def run_diff(base: Path, cur: Path, tolerance: float, grace: float) -> int:
     path_deltas, hist_deltas = diffing.diff_runs(base, cur)
     print(diffing.render_diff(path_deltas, hist_deltas,
                               tolerance=tolerance, grace_s=grace))
+    if baseline_path is not None and results_dir is not None:
+        report_gated_metrics(baseline_path, results_dir)
     bad = (diffing.regressed_paths(path_deltas, tolerance, grace)
            + diffing.regressed_hists(hist_deltas, tolerance, grace))
     if bad:
@@ -221,7 +264,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.diff is not None:
         return run_diff(args.diff[0], args.diff[1],
                         args.tolerance or DEFAULT_TOLERANCE,
-                        args.grace if args.grace is not None else 0.05)
+                        args.grace if args.grace is not None else 0.05,
+                        baseline_path=args.baseline,
+                        results_dir=args.results)
 
     baseline = json.loads(args.baseline.read_text())
     tolerance = args.tolerance

@@ -115,6 +115,10 @@ def main(argv: Sequence[str] | None = None) -> None:
         from .audit import cli as audit_cli
 
         raise SystemExit(audit_cli.main(argv[1:]))
+    if argv and argv[0] == "serve":
+        from .serving import cli as serving_cli
+
+        raise SystemExit(serving_cli.main(argv[1:]))
     args = _parse_args(argv)
     _configure_logging(args.verbose)
 

@@ -17,15 +17,20 @@ from .leakage import (
     feature_dim,
     observe_round,
     observe_rounds,
+    serving_feature_dim,
+    serving_slot_observations,
 )
 from .pipeline import (
     METHODS,
     AttackConfig,
     AttackResult,
+    ServingAttackResult,
     all_accuracy,
     build_teacher,
     chance_top1,
+    macro_ovr_auc,
     run_attack,
+    run_serving_attack,
     top1_accuracy,
 )
 
@@ -37,6 +42,7 @@ __all__ = [
     "NnAttack",
     "NnSingleAttack",
     "RoundObservation",
+    "ServingAttackResult",
     "all_accuracy",
     "build_teacher",
     "chance_top1",
@@ -45,9 +51,13 @@ __all__ = [
     "feature_dim",
     "jaccard",
     "kmeans_1d_top_cluster",
+    "macro_ovr_auc",
     "multi_hot",
     "observe_round",
     "observe_rounds",
     "run_attack",
+    "run_serving_attack",
+    "serving_feature_dim",
+    "serving_slot_observations",
     "top1_accuracy",
 ]

@@ -14,9 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.aggregation import G_STAR_REGION
 from ..core.obliviousness import leaked_index_sets
 from ..core.olive import OliveRoundLog
+from ..serving.engine import SERVE_TABLE_REGION, ServedBatch
 from ..sgx.observer import ObserverConfig, SideChannelObserver
 
 
@@ -83,3 +86,67 @@ def feature_dim(d: int, granularity: str = "word",
     if granularity == "word":
         return d
     return (d * itemsize + line_bytes - 1) // line_bytes
+
+
+# -- serving-side observations ------------------------------------------
+# The same adversary watches the inference path: during one served
+# batch the trace touches the per-class calibration table once per slot
+# in slot order, and each slot contributes a count of table accesses
+# that is fixed by the serving mode (the whole table obliviously, one
+# row in plain mode).  Both counts are public -- they follow from the
+# model and batch shape -- so the adversary can attribute every table
+# access to a batch slot, exactly as gradient-buffer segments are
+# attributed to clients during training.
+
+
+def serving_slot_observations(
+    batch: ServedBatch,
+    granularity: str = "word",
+    line_bytes: int = 64,
+) -> list[frozenset[int]]:
+    """Per-slot observed sets over the serving class table.
+
+    Splits the batch trace's ``serve_table`` accesses (record order)
+    into equal per-slot segments and coarsens each into the observation
+    space.  For the oblivious engine every slot's set is the full table
+    -- identical across slots, inputs, and batches.
+    """
+    if batch.trace is None or batch.layout is None:
+        raise ValueError("batch was not traced; run infer_batch(traced=True)")
+    n_slots = len(batch.labels)
+    rids, offs, _ = batch.trace.columns()
+    names = batch.trace.region_names
+    if SERVE_TABLE_REGION not in names:
+        raise ValueError("trace has no serve_table region")
+    table_rid = names.index(SERVE_TABLE_REGION)
+    table_offs = offs[np.asarray(rids) == table_rid]
+    if len(table_offs) % n_slots:
+        raise ValueError(
+            f"{len(table_offs)} table accesses do not split into "
+            f"{n_slots} slots"
+        )
+    per_slot = len(table_offs) // n_slots
+    observer = SideChannelObserver(
+        SERVE_TABLE_REGION,
+        ObserverConfig(granularity=granularity, line_bytes=line_bytes),
+        itemsize=batch.layout.itemsize(SERVE_TABLE_REGION),
+    )
+    return [
+        observer.indices_to_observation(
+            table_offs[slot * per_slot : (slot + 1) * per_slot]
+        )
+        for slot in range(n_slots)
+    ]
+
+
+def serving_feature_dim(
+    n_labels: int,
+    granularity: str = "word",
+    itemsize: int = 8,
+    line_bytes: int = 64,
+) -> int:
+    """Observation-space dimensionality of the (L, L) serving table."""
+    return feature_dim(
+        n_labels * n_labels, granularity, itemsize=itemsize,
+        line_bytes=line_bytes,
+    )

@@ -24,8 +24,25 @@ from ..core.olive import OliveRoundLog
 from ..fl.client import TrainingConfig
 from ..fl.models import Sequential
 from ..runtime import STREAM_TEACHER, RuntimeConfig, TrainTask, run_train_tasks
-from .classifiers import JacAttack, NnAttack, NnSingleAttack, decide_labels
-from .leakage import coarsen_indices, feature_dim, observe_rounds
+from ..serving.engine import ServedBatch
+from .classifiers import (
+    JacAttack,
+    NnAttack,
+    NnSingleAttack,
+    _attack_mlp,
+    _nn_features,
+    _softmax,
+    _train_classifier,
+    decide_labels,
+    jaccard,
+)
+from .leakage import (
+    coarsen_indices,
+    feature_dim,
+    observe_rounds,
+    serving_feature_dim,
+    serving_slot_observations,
+)
 
 METHODS = ("jac", "nn", "nn_single")
 
@@ -226,4 +243,138 @@ def chance_top1(true_labels: dict[int, frozenset[int]], n_labels: int) -> float:
         return 0.0
     return float(
         np.mean([len(s) / n_labels for s in true_labels.values()])
+    )
+
+
+# -- serving-side attack ------------------------------------------------
+# The same adversary, retargeted at inference: from a served batch's
+# trace it tries to recover *which class each slot was served* (the
+# inference-time analogue of the sensitive-label attack).  The attacker
+# first submits probe requests of known class and records their slot
+# observations (teacher), then scores victim slots with the same
+# classifier machinery -- Jaccard against per-class teacher sets, or
+# the attack MLP trained on the probe observations.
+
+
+@dataclass
+class ServingAttackResult:
+    """Per-slot class scores plus the headline leakage metric."""
+
+    scores: np.ndarray       # (n_slots, n_labels)
+    labels: np.ndarray       # (n_slots,) class actually served
+    auc: float               # macro one-vs-rest AUC; 0.5 = no signal
+    top1_accuracy: float
+    method: str
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks (1-based) with ties sharing their average rank."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values))
+    sorted_vals = values[order]
+    start = 0
+    while start < len(values):
+        end = start
+        while end + 1 < len(values) and sorted_vals[end + 1] == sorted_vals[start]:
+            end += 1
+        ranks[order[start : end + 1]] = (start + end + 2) / 2.0
+        start = end + 1
+    return ranks
+
+
+def macro_ovr_auc(scores: np.ndarray, labels: np.ndarray,
+                  n_labels: int) -> float:
+    """Macro-averaged one-vs-rest AUC of a class-score matrix.
+
+    Mann-Whitney with average-rank tie handling, so an attacker whose
+    scores carry no information (all slots identical, as against the
+    oblivious engine) lands on exactly 0.5.  Labels without both a
+    positive and a negative slot are skipped; 0.5 if none qualify.
+    """
+    aucs = []
+    for label in range(n_labels):
+        positives = labels == label
+        n_pos = int(positives.sum())
+        n_neg = len(labels) - n_pos
+        if n_pos == 0 or n_neg == 0:
+            continue
+        ranks = _average_ranks(scores[:, label])
+        u = ranks[positives].sum() - n_pos * (n_pos + 1) / 2.0
+        aucs.append(u / (n_pos * n_neg))
+    return float(np.mean(aucs)) if aucs else 0.5
+
+
+def run_serving_attack(
+    victim_batches: list[ServedBatch],
+    probe_batches: list[ServedBatch],
+    n_labels: int,
+    config: AttackConfig | None = None,
+) -> ServingAttackResult:
+    """Score how well the trace reveals which class each slot got.
+
+    ``probe_batches`` are the attacker's own traced requests (classes
+    known to it -- the serving teacher); ``victim_batches`` are the
+    traced batches under attack.  Returns macro one-vs-rest AUC over
+    victim slots: ~=0.5 against the oblivious engine, well above it
+    against the plain row-read path.
+    """
+    config = config or AttackConfig()
+    with obs.span("attack.serving", method=config.method,
+                  victim_batches=len(victim_batches),
+                  probe_batches=len(probe_batches)):
+        victim_obs: list[frozenset[int]] = []
+        victim_labels: list[int] = []
+        for batch in victim_batches:
+            victim_obs.extend(
+                serving_slot_observations(batch, config.granularity)
+            )
+            victim_labels.extend(int(lab) for lab in batch.labels)
+        teacher: dict[int, list[frozenset[int]]] = {
+            label: [] for label in range(n_labels)
+        }
+        for batch in probe_batches:
+            for observed, label in zip(
+                serving_slot_observations(batch, config.granularity),
+                batch.labels,
+            ):
+                teacher[int(label)].append(observed)
+        obs.add("attack.serving_slots", len(victim_obs))
+
+        n_slots = len(victim_obs)
+        scores = np.zeros((n_slots, n_labels))
+        if config.method == "jac":
+            for i, observed in enumerate(victim_obs):
+                for label in range(n_labels):
+                    if teacher[label]:
+                        scores[i, label] = max(
+                            jaccard(observed, t) for t in teacher[label]
+                        )
+        else:  # nn / nn_single: one MLP over the probe observations
+            dim = serving_feature_dim(n_labels, config.granularity)
+            train_x = np.stack([
+                _nn_features(observed, dim)
+                for label in range(n_labels)
+                for observed in teacher[label]
+            ])
+            train_y = np.asarray([
+                label
+                for label in range(n_labels)
+                for _ in teacher[label]
+            ])
+            model = _attack_mlp(dim, n_labels, config.nn_hidden, config.seed)
+            _train_classifier(
+                model, train_x, train_y, config.nn_epochs, config.nn_lr,
+                batch_size=32, rng=np.random.default_rng(config.seed),
+            )
+            features = np.stack(
+                [_nn_features(observed, dim) for observed in victim_obs]
+            )
+            scores = _softmax(model.forward(features, train=False))
+
+        labels = np.asarray(victim_labels, dtype=np.int64)
+        auc = macro_ovr_auc(scores, labels, n_labels)
+        top1 = float(np.mean(scores.argmax(axis=1) == labels))
+    return ServingAttackResult(
+        scores=scores, labels=labels, auc=auc,
+        top1_accuracy=top1, method=config.method,
     )

@@ -459,8 +459,154 @@ class BatchedFlatten:
         return []
 
 
+def _im2col_batch(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """Unfold (C, N, ch, H, W) into (C, N, out_h, out_w, ch*kh*kw).
+
+    The client-axis twin of :func:`_im2col`: identical window walk per
+    client slice, with the leading cohort axis carried through the
+    strides so the whole cohort unfolds in one ``as_strided`` view.
+    """
+    cc, n, ch, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    shape = (cc, n, ch, out_h, out_w, kh, kw)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2],
+        x.strides[3] * stride,
+        x.strides[4] * stride,
+        x.strides[3],
+        x.strides[4],
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 1, 3, 4, 2, 5, 6).reshape(
+        cc, n, out_h, out_w, ch * kh * kw
+    )
+    return cols, out_h, out_w
+
+
+class BatchedConv2d:
+    """A stack of C independent :class:`Conv2d` layers.
+
+    Per client slice this performs the exact im2col unfold, matmuls,
+    and col2im fold of the scalar layer (same operand shapes per
+    slice), so the results are bit-identical to a serial loop -- the
+    contract ``tests/test_fl_models.py`` / ``test_vectorized_cohort.py``
+    pin.  ``compute_dx`` mirrors :class:`BatchedLinear`: the first
+    layer's input gradient is discarded by every caller, and for conv
+    layers the skipped work (a matmul plus the col2im fold loop) is
+    the most expensive part of the backward pass.
+    """
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray,
+                 stride: int, padding: int) -> None:
+        self.weight = weight          # (C, out_c, in_c, k, k)
+        self.bias = bias              # (C, out_c)
+        self.grad_weight = np.zeros_like(weight)
+        self.grad_bias = np.zeros_like(bias)
+        self.stride = stride
+        self.padding = padding
+        self.kernel_size = weight.shape[-1]
+        self.compute_dx = True
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        self._x_shape = x.shape
+        k = self.kernel_size
+        cols, out_h, out_w = _im2col_batch(x, k, k, self.stride, self.padding)
+        self._cols = cols
+        cc = self.weight.shape[0]
+        w_mat_t = self.weight.reshape(cc, self.weight.shape[1], -1)
+        w_mat_t = w_mat_t.transpose(0, 2, 1)          # (C, ckk, out_c)
+        out = np.matmul(cols, w_mat_t[:, None, None])
+        out = out + self.bias[:, None, None, None, :]
+        return out.transpose(0, 1, 4, 2, 3)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._cols is not None and self._x_shape is not None
+        cc, n, c, h, w = self._x_shape
+        k = self.kernel_size
+        go = grad_out.transpose(0, 1, 3, 4, 2)  # (C, N, out_h, out_w, out_c)
+        out_c = go.shape[-1]
+        go_flat = go.reshape(cc, -1, out_c)
+        cols_flat = self._cols.reshape(cc, -1, self._cols.shape[-1])
+        self.grad_weight = np.matmul(
+            go_flat.transpose(0, 2, 1), cols_flat
+        ).reshape(self.weight.shape)
+        self.grad_bias = go_flat.sum(axis=1)
+        if not self.compute_dx:
+            return grad_out
+        w_mat = self.weight.reshape(cc, out_c, -1)
+        dcols = np.matmul(go_flat, w_mat).reshape(self._cols.shape)
+        out_h, out_w = dcols.shape[2], dcols.shape[3]
+        dx = np.zeros((cc, n, c, h + 2 * self.padding, w + 2 * self.padding))
+        dpatches = dcols.reshape(cc, n, out_h, out_w, c, k, k)
+        for i in range(out_h):
+            hi = i * self.stride
+            for j in range(out_w):
+                wj = j * self.stride
+                dx[:, :, :, hi : hi + k, wj : wj + k] += dpatches[:, :, i, j]
+        if self.padding:
+            dx = dx[:, :, :, self.padding : -self.padding,
+                    self.padding : -self.padding]
+        return dx
+
+    def sgd_step(self, lr: float) -> None:
+        self.weight -= lr * self.grad_weight
+        self.bias -= lr * self.grad_bias
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+
+class BatchedMaxPool2d:
+    """Non-overlapping max pooling over (C, N, ch, H, W) stacks."""
+
+    def __init__(self, kernel_size: int) -> None:
+        self.k = kernel_size
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        cc, n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError("input not divisible by pooling kernel")
+        self._x_shape = x.shape
+        blocks = x.reshape(cc, n, c, h // k, k, w // k, k).transpose(
+            0, 1, 2, 3, 5, 4, 6
+        )
+        flat = blocks.reshape(cc, n, c, h // k, w // k, k * k)
+        self._argmax = flat.argmax(axis=-1)
+        return flat.max(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._argmax is not None and self._x_shape is not None
+        cc, n, c, h, w = self._x_shape
+        k = self.k
+        dflat = np.zeros((cc, n, c, h // k, w // k, k * k))
+        np.put_along_axis(
+            dflat, self._argmax[..., None], grad_out[..., None], axis=-1
+        )
+        return (
+            dflat.reshape(cc, n, c, h // k, w // k, k, k)
+            .transpose(0, 1, 2, 3, 5, 4, 6)
+            .reshape(cc, n, c, h, w)
+        )
+
+    def sgd_step(self, lr: float) -> None:
+        pass
+
+    def params(self) -> list[np.ndarray]:
+        return []
+
+
 #: Template layers with a bit-identical batched counterpart.
-_BATCHABLE_LAYERS = (Linear, ReLU, Dropout, Flatten)
+_BATCHABLE_LAYERS = (Linear, ReLU, Dropout, Flatten, Conv2d, MaxPool2d)
 
 
 def supports_batched_training(model: Sequential) -> bool:
@@ -522,7 +668,16 @@ class BatchedSequential:
                 self._dropout_indices.append(i)
             elif isinstance(layer, Flatten):
                 self.layers.append(BatchedFlatten())
-        if self.layers and isinstance(self.layers[0], BatchedLinear):
+            elif isinstance(layer, Conv2d):
+                self.layers.append(BatchedConv2d(
+                    stacked(layer.weight.shape), stacked(layer.bias.shape),
+                    layer.stride, layer.padding,
+                ))
+            elif isinstance(layer, MaxPool2d):
+                self.layers.append(BatchedMaxPool2d(layer.k))
+        if self.layers and isinstance(
+            self.layers[0], (BatchedLinear, BatchedConv2d)
+        ):
             self.layers[0].compute_dx = False
 
     @property

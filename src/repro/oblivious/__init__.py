@@ -3,7 +3,16 @@ Batcher's bitonic sorting network, oblivious shuffle, and padding
 helpers for the differentially oblivious path."""
 
 from .compaction import pad_to_length, pad_with_dummies, truncated_geometric_noise
-from .primitives import o_access, o_equal, o_max, o_min, o_mov, o_swap, o_write
+from .primitives import (
+    o_access,
+    o_access_rows,
+    o_equal,
+    o_max,
+    o_min,
+    o_mov,
+    o_swap,
+    o_write,
+)
 from .shuffle import oblivious_shuffle_numpy, oblivious_shuffle_traced
 from .sort import (
     apply_network_traced,
@@ -27,6 +36,7 @@ __all__ = [
     "network_access_offsets",
     "next_power_of_two",
     "o_access",
+    "o_access_rows",
     "o_equal",
     "o_max",
     "o_min",

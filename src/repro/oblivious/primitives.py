@@ -82,6 +82,31 @@ def o_access(array, secret_offset: int) -> Any:
     return result
 
 
+def o_access_rows(array, secret_row: int, row_width: int) -> list:
+    """Obliviously read row ``secret_row`` of a row-major table.
+
+    The TENNOR-style retrieval the oblivious serving path is built on:
+    a table of ``len(array) // row_width`` rows is scanned front to
+    back -- every element read exactly once, in offset order -- while
+    the wanted row is retained in registers via :func:`o_mov`.  The
+    trace is a pure function of the table shape; which row was wanted
+    (for serving: which class the enclave is about to respond with) is
+    invisible.  The batched serving engine performs the same scan as
+    one ``read_block`` plus an arithmetic one-hot selection; this
+    scalar form is the reference its trace is pinned against.
+    """
+    if row_width <= 0 or len(array) % row_width:
+        raise ValueError("array length must be a multiple of row_width")
+    n_rows = len(array) // row_width
+    row: list = [0.0] * row_width
+    for r in range(n_rows):
+        wanted = o_equal(r, secret_row)
+        for j in range(row_width):
+            value = array.read(r * row_width + j)
+            row[j] = o_mov(wanted, value, row[j])
+    return row
+
+
 def o_write(array, secret_offset: int, value: Any) -> None:
     """Obliviously write ``array[secret_offset] = value`` via full scan.
 

@@ -1,0 +1,57 @@
+"""Oblivious model serving: the enclave inference engine, the sealed
+request/response envelopes, and the concurrent batch scheduler.
+
+Training produces a checkpoint; this package serves it without leaking
+which class each request received -- the forward pass's recorded trace
+is a pure function of the batch shape (see ``engine``), batches are
+fixed-shape padded (see ``server``), and envelopes are fixed-layout
+sealed blobs (see ``envelopes``).  The attack pipeline's serving mode
+(:func:`repro.attack.run_serving_attack`) scores the residual leakage.
+"""
+
+from .engine import (
+    SERVE_IN_REGION,
+    SERVE_OUT_REGION,
+    SERVE_TABLE_REGION,
+    ObliviousInferenceEngine,
+    ServedBatch,
+    infer_model_name,
+    load_serving_model,
+    model_output_dim,
+    replay_serving_cost,
+)
+from .envelopes import (
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    open_request,
+    open_response,
+    response_nonce,
+    seal_request,
+    seal_response,
+)
+from .server import InferenceServer, ServingConfig
+
+__all__ = [
+    "InferenceServer",
+    "ObliviousInferenceEngine",
+    "SERVE_IN_REGION",
+    "SERVE_OUT_REGION",
+    "SERVE_TABLE_REGION",
+    "ServedBatch",
+    "ServingConfig",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "infer_model_name",
+    "load_serving_model",
+    "model_output_dim",
+    "open_request",
+    "open_response",
+    "replay_serving_cost",
+    "response_nonce",
+    "seal_request",
+    "seal_response",
+]

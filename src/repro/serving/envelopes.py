@@ -1,0 +1,107 @@
+"""Sealed request/response envelopes for the serving path.
+
+Inference traffic crosses the same trust boundary as training uploads:
+the untrusted host routes it, so feature vectors and predictions are
+sealed under the per-client RA keys (:mod:`repro.sgx.crypto`) exactly
+like gradients.  The wire formats are fixed-layout so the envelope
+*size* is a pure function of the model's input/output shape -- batch
+composition leaks nothing through lengths.
+
+* request:  ``OLVIREQ1 || ndim || shape || float64 features``
+* response: ``OLVIRSP1 || label || n_logits || float64 calibrated logits``
+
+The response nonce is derived deterministically from the request nonce
+(SIV-style, like sealed enclave checkpoints), binding each response to
+exactly one request and keeping a served load replayable bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+from ..sgx import crypto
+
+REQUEST_MAGIC = b"OLVIREQ1"
+RESPONSE_MAGIC = b"OLVIRSP1"
+
+
+def encode_request(x: np.ndarray) -> bytes:
+    """Serialize one request's feature tensor."""
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.ndim > 8:
+        raise ValueError("request tensor rank too large")
+    header = struct.pack(">B", arr.ndim) + struct.pack(
+        f">{arr.ndim}I", *arr.shape
+    )
+    return REQUEST_MAGIC + header + arr.tobytes()
+
+
+def decode_request(raw: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_request`."""
+    if raw[: len(REQUEST_MAGIC)] != REQUEST_MAGIC:
+        raise ValueError("unrecognized request format")
+    off = len(REQUEST_MAGIC)
+    (ndim,) = struct.unpack_from(">B", raw, off)
+    off += 1
+    shape = struct.unpack_from(f">{ndim}I", raw, off)
+    off += 4 * ndim
+    count = int(np.prod(shape)) if shape else 1
+    arr = np.frombuffer(raw, dtype=np.float64, count=count, offset=off)
+    return arr.reshape(shape).copy()
+
+
+def encode_response(label: int, logits: np.ndarray) -> bytes:
+    """Serialize one response (predicted label + calibrated logits)."""
+    arr = np.ascontiguousarray(logits, dtype=np.float64).reshape(-1)
+    return (
+        RESPONSE_MAGIC
+        + struct.pack(">II", int(label), arr.size)
+        + arr.tobytes()
+    )
+
+
+def decode_response(raw: bytes) -> tuple[int, np.ndarray]:
+    """Inverse of :func:`encode_response`."""
+    if raw[: len(RESPONSE_MAGIC)] != RESPONSE_MAGIC:
+        raise ValueError("unrecognized response format")
+    off = len(RESPONSE_MAGIC)
+    label, count = struct.unpack_from(">II", raw, off)
+    off += 8
+    logits = np.frombuffer(raw, dtype=np.float64, count=count, offset=off)
+    return int(label), logits.copy()
+
+
+def seal_request(
+    key: bytes, x: np.ndarray, nonce: bytes | None = None
+) -> crypto.Ciphertext:
+    """Client side: seal a feature tensor under the RA session key."""
+    return crypto.seal(key, encode_request(x), nonce=nonce)
+
+
+def open_request(key: bytes, ct: crypto.Ciphertext) -> np.ndarray:
+    """Enclave side: unseal and decode one request."""
+    return decode_request(crypto.open_sealed(key, ct))
+
+
+def response_nonce(request_nonce: bytes) -> bytes:
+    """Deterministic response nonce bound to the request's nonce."""
+    return hashlib.sha256(b"serve-rsp:" + request_nonce).digest()[
+        : crypto.NONCE_BYTES
+    ]
+
+
+def seal_response(
+    key: bytes, request_nonce: bytes, label: int, logits: np.ndarray
+) -> crypto.Ciphertext:
+    """Enclave side: seal a response, nonce-bound to its request."""
+    return crypto.seal(
+        key, encode_response(label, logits), nonce=response_nonce(request_nonce)
+    )
+
+
+def open_response(key: bytes, ct: crypto.Ciphertext) -> tuple[int, np.ndarray]:
+    """Client side: unseal and decode one response."""
+    return decode_response(crypto.open_sealed(key, ct))

@@ -1,0 +1,208 @@
+"""Concurrent request scheduler for the oblivious inference engine.
+
+The serving front door: clients submit sealed requests from arbitrary
+threads; a dispatcher thread forms **deadline-driven, fixed-shape
+batches** and runs them through the engine.  A batch flushes when it
+fills to the configured size or when its oldest request has waited
+``max_wait_s`` -- and every batch is padded with dummy slots up to the
+fixed size, so neither the batch *shape* nor the flush cadence encodes
+how many real requests arrived (padding slots run the identical
+compute and retrieval; ISSUE: batch composition must not leak).
+
+Request/response confidentiality rides the training-side RA keys: the
+scheduler unseals each request under the submitting client's key from
+the enclave :class:`~repro.sgx.enclave.KeyStore` and seals the response
+nonce-bound to the request (:mod:`repro.serving.envelopes`).
+
+Telemetry (all under ``serving.*``): per-request queue wait and
+end-to-end latency histograms, per-batch forward wall time and fill
+counts, plus lock-guarded local counters (``requests_served``,
+``batches``, ``padded_slots``) so tests can assert scheduling behavior
+without a telemetry session.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from ..sgx import crypto
+from .engine import ObliviousInferenceEngine, ServedBatch
+from .envelopes import open_request, seal_response
+
+
+@dataclass
+class ServingConfig:
+    """Scheduler knobs (the engine owns batch size and obliviousness)."""
+
+    max_wait_s: float = 0.005   # oldest-request deadline before a flush
+    traced: bool = False        # record per-batch traces (attack/audit)
+    keep_batches: bool = False  # retain ServedBatch list (attack scoring)
+
+
+@dataclass
+class _Pending:
+    """One unsealed request waiting for its batch."""
+
+    client_id: int
+    request_nonce: bytes
+    x: np.ndarray
+    future: Future
+    arrived: float = field(default_factory=time.monotonic)
+
+
+class InferenceServer:
+    """Thread-safe sealed-request front end over a fixed-batch engine.
+
+    Use as a context manager (``with InferenceServer(engine) as srv:``)
+    or call :meth:`start` / :meth:`stop` explicitly.  ``stop`` drains:
+    whatever is queued flushes as a final padded batch before the
+    dispatcher exits, so no submitted future is left unresolved.
+    """
+
+    def __init__(
+        self,
+        engine: ObliviousInferenceEngine,
+        config: ServingConfig | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServingConfig()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: list[_Pending] = []
+        self._stopping = False
+        self._dispatcher: threading.Thread | None = None
+        self._input_shape: tuple[int, ...] | None = None
+        # Scheduling counters, asserted on by tests without telemetry.
+        self.requests_served = 0
+        self.batches = 0
+        self.padded_slots = 0
+        #: Retained batches when ``config.keep_batches`` (attack input).
+        self.served: list[tuple[ServedBatch, int]] = []
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "InferenceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._dispatcher is not None:
+            raise RuntimeError("server already started")
+        self._stopping = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serving-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    def stop(self) -> None:
+        """Drain the queue, flush the final padded batch, join."""
+        if self._dispatcher is None:
+            return
+        with self._wakeup:
+            self._stopping = True
+            self._wakeup.notify()
+        self._dispatcher.join()
+        self._dispatcher = None
+
+    # ------------------------------------------------------------------
+    def submit(self, client_id: int, sealed: crypto.Ciphertext) -> Future:
+        """Enqueue one sealed request; resolves to the sealed response.
+
+        Unsealing happens here, inside the enclave boundary: a bad key
+        or tampered envelope raises immediately
+        (:class:`~repro.sgx.crypto.AuthenticationError` /
+        :class:`~repro.sgx.enclave.EnclaveSecurityError`) and never
+        enters the batch queue.
+        """
+        if self._dispatcher is None:
+            raise RuntimeError("server not started")
+        key = self.engine.enclave.keystore.get(client_id)
+        x = open_request(key, sealed)
+        future: Future = Future()
+        pending = _Pending(client_id, sealed.nonce, x, future)
+        with self._wakeup:
+            if self._input_shape is None:
+                self._input_shape = x.shape
+            elif x.shape != self._input_shape:
+                raise ValueError(
+                    f"request shape {x.shape} != serving shape "
+                    f"{self._input_shape}"
+                )
+            self._queue.append(pending)
+            self._wakeup.notify()
+        return future
+
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        cfg = self.config
+        size = self.engine.batch_size
+        while True:
+            with self._wakeup:
+                while True:
+                    if len(self._queue) >= size:
+                        break
+                    if self._stopping:
+                        break
+                    if self._queue:
+                        deadline = self._queue[0].arrived + cfg.max_wait_s
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._wakeup.wait(timeout=remaining)
+                    else:
+                        self._wakeup.wait()
+                if self._stopping and not self._queue:
+                    return
+                batch = self._queue[:size]
+                del self._queue[:size]
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        cfg = self.config
+        size = self.engine.batch_size
+        started = time.monotonic()
+        fill = len(batch)
+        padded = size - fill
+        for pending in batch:
+            obs.observe("serving.queue_wait_s", started - pending.arrived)
+        with obs.span("serving.batch", fill=fill, padded=padded):
+            # Fixed-shape padding: dummy zero inputs occupy the empty
+            # slots and run the identical compute + retrieval.
+            assert self._input_shape is not None
+            x = np.zeros((size, *self._input_shape))
+            for slot, pending in enumerate(batch):
+                x[slot] = pending.x
+            try:
+                result = self.engine.infer_batch(x, traced=cfg.traced)
+            except BaseException as exc:
+                for pending in batch:
+                    pending.future.set_exception(exc)
+                return
+            for slot, pending in enumerate(batch):
+                key = self.engine.enclave.keystore.get(pending.client_id)
+                response = seal_response(
+                    key,
+                    pending.request_nonce,
+                    int(result.labels[slot]),
+                    result.calibrated[slot],
+                )
+                pending.future.set_result(response)
+                obs.observe(
+                    "serving.request_latency_s",
+                    time.monotonic() - pending.arrived,
+                )
+        obs.observe("serving.batch_fill", float(fill))
+        with self._lock:
+            self.requests_served += fill
+            self.batches += 1
+            self.padded_slots += padded
+            if cfg.keep_batches:
+                self.served.append((result, fill))

@@ -908,3 +908,35 @@ class CostModel:
         if isinstance(byte_addresses, np.ndarray):
             return self.charge_lines(byte_addresses // line_bytes)
         return self.charge_lines(a // line_bytes for a in byte_addresses)
+
+
+def replay_trace_cost(
+    trace,
+    layout,
+    params: CostParameters | None = None,
+    engine: str = "vector",
+) -> tuple[CostModel, CostReport]:
+    """Replay a whole recorded trace through a fresh :class:`CostModel`.
+
+    Maps every access of ``trace`` (all regions, original order) onto
+    its simulated physical byte address via ``layout``
+    (:class:`repro.sgx.memory.RegionLayout`) in one vectorized gather,
+    then charges the resulting address stream.  This is how the
+    serving subsystem prices an inference batch: the engine records
+    the batch's trace, and this replay answers "what would that access
+    sequence cost on the modelled machine" -- returning the model (for
+    cumulative :attr:`CostModel.stats`) and the batch's
+    :class:`CostReport`.
+    """
+    model = CostModel(params, engine=engine)
+    rids, offs, _ = trace.columns()
+    names = trace.region_names
+    if len(rids) == 0:
+        return model, CostReport()
+    bases = np.asarray([layout.base(name) for name in names], dtype=np.int64)
+    itemsizes = np.asarray(
+        [layout.itemsize(name) for name in names], dtype=np.int64
+    )
+    addresses = bases[rids] + offs.astype(np.int64) * itemsizes[rids]
+    report = model.charge_addresses(addresses)
+    return model, report

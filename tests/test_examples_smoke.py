@@ -27,7 +27,7 @@ class TestExamplesImportable:
     @pytest.mark.parametrize(
         "name",
         ["quickstart", "attack_demo", "medical_fl",
-         "aggregator_comparison", "secagg_generality"],
+         "aggregator_comparison", "secagg_generality", "serve_roundtrip"],
     )
     def test_imports_cleanly(self, name):
         module = _load(name)
@@ -51,6 +51,13 @@ class TestFastExamplesRun:
         _load("quickstart").main()
         out = capsys.readouterr().out
         assert "privacy budget" in out
+        assert "data-independent" in out
+
+    def test_serve_roundtrip_runs(self, capsys):
+        _load("serve_roundtrip").main()
+        out = capsys.readouterr().out
+        assert "checkpoint loaded: inferred architecture 'tiny_mlp'" in out
+        assert "identical across inputs: True" in out
         assert "data-independent" in out
 
     def test_module_entry_point_runs(self, capsys):

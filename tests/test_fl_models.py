@@ -5,6 +5,7 @@ import pytest
 
 from repro.fl.models import (
     MODEL_NAMES,
+    BatchedSequential,
     Conv2d,
     Dropout,
     Flatten,
@@ -15,6 +16,8 @@ from repro.fl.models import (
     accuracy,
     build_model,
     softmax_cross_entropy,
+    softmax_cross_entropy_batch,
+    supports_batched_training,
 )
 
 
@@ -237,3 +240,46 @@ class TestLossAndTraining:
         x = np.zeros((5, 24))
         y = np.zeros(5, dtype=np.int64)
         assert 0.0 <= accuracy(model, x, y) <= 1.0
+
+
+class TestBatchedConv:
+    """The conv models' batched counterparts must be bit-identical."""
+
+    @pytest.mark.parametrize("name", ["cifar10_cnn", "cifar100_cnn"])
+    def test_conv_models_are_batchable(self, name):
+        assert supports_batched_training(build_model(name))
+
+    @pytest.mark.parametrize("name", ["cifar10_cnn", "cifar100_cnn"])
+    def test_batched_forward_bit_identical(self, name):
+        template = build_model(name, seed=0)
+        weights = build_model(name, seed=7).get_flat()
+        rng = np.random.default_rng(1)
+        xs = rng.normal(size=(3, 4, 3, 32, 32))
+        batched = BatchedSequential(template, weights, 3)
+        out = batched.forward(xs, train=False)
+        for c in range(3):
+            serial = build_model(name, seed=0)
+            serial.set_flat(weights)
+            expected = serial.forward(xs[c], train=False)
+            assert np.array_equal(expected, out[c])
+
+    def test_batched_train_step_bit_identical(self):
+        template = build_model("cifar10_cnn", seed=0)
+        weights = build_model("cifar10_cnn", seed=5).get_flat()
+        rng = np.random.default_rng(2)
+        xs = rng.normal(size=(3, 4, 3, 32, 32))
+        ys = rng.integers(0, 10, size=(3, 4))
+        batched = BatchedSequential(template, weights, 3)
+        logits = batched.forward(xs, train=True)
+        batched.backward(softmax_cross_entropy_batch(logits, ys))
+        batched.sgd_step(0.1)
+        flat = batched.get_flat()
+        for c in range(3):
+            serial = build_model("cifar10_cnn", seed=0)
+            serial.set_flat(weights)
+            _, dlogits = softmax_cross_entropy(
+                serial.forward(xs[c], train=True), ys[c]
+            )
+            serial.backward(dlogits)
+            serial.sgd_step(0.1)
+            assert np.array_equal(serial.get_flat(), flat[c])

@@ -203,9 +203,9 @@ class TestVectorizedEquivalence:
             run_round("vectorized", training, vector_chunk=3),
         )
 
-    def test_conv_model_falls_back_per_job(self):
-        # LeNet-5 has no batched counterpart: the vectorized executor
-        # must detect that and run per-job, still matching serial.
+    def test_conv_model_batches_bit_identically(self):
+        # LeNet-5 trains through the batched conv/pool layers (no more
+        # per-job fallback) and must still match serial exactly.
         training = TrainingConfig(local_epochs=1, local_lr=0.05,
                                   batch_size=4, sparse_ratio=0.05, clip=1.0)
         assert_rounds_identical(
